@@ -1,0 +1,75 @@
+//===- bench/fig13_microbench.cpp - Figure 13 ------------------*- C++ -*-===//
+///
+/// Figure 13: the cross-layer-optimization microbenchmark — the first
+/// three layers of VGG (conv3-64 + ReLU + 2x2 max pool). The paper reports
+/// Latte with parallelization alone beating Caffe by >7x on 36 cores, and
+/// the fully optimized compiler (tiling + fusion + vectorization) reaching
+/// 17.0x / 15.0x / 15.7x for forward / backward / forward+backward.
+///
+/// This harness reproduces the ablation structure: the Caffe baseline
+/// (static per-layer kernels, im2col + GEMM), Latte without cross-layer
+/// optimizations, Latte with tiling+fusion, and Latte additionally without
+/// vectorized kernels (isolating the vectorization term). The
+/// parallelization factor scales with the machine's cores (the paper had
+/// 36; see EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+using namespace latte;
+using namespace latte::bench;
+using namespace latte::compiler;
+
+int main() {
+  const double Scale = 1.0; // full 224x224, as in the paper
+  const int64_t Batch = 2;
+  models::ModelSpec Spec = models::vggFirstThreeLayers(Scale);
+
+  printHeader("Figure 13: cross-layer fusion microbenchmark "
+              "(first 3 layers of VGG)",
+              "conv3-64 + ReLU + maxpool2 at " +
+                  Spec.InputDims.str() + ", batch " + std::to_string(Batch));
+
+  PassTimes Caffe = timeBaseline(Spec, Batch, /*Naive=*/false);
+
+  CompileOptions Base; // pattern matching + parallel loops; no cross-layer
+  Base.Tiling = false;
+  Base.Fusion = false;
+  PassTimes LatteBase = timeLatte(Spec, Batch, Base);
+
+  CompileOptions Full; // + tiling + fusion (the paper's full stack)
+  Full.TileSize = 8;
+  PassTimes LatteFull = timeLatte(Spec, Batch, Full);
+
+  CompileOptions NoVec = Full; // ablate vectorized kernels
+  NoVec.VectorKernels = false;
+  PassTimes LatteNoVec = timeLatte(Spec, Batch, NoVec);
+
+  std::printf("\n-- Latte (no cross-layer optimizations) vs Caffe --\n");
+  printSpeedupRow("forward", Caffe.FwdSec, LatteBase.FwdSec, ">7x (36c)");
+  printSpeedupRow("backward", Caffe.BwdSec, LatteBase.BwdSec, ">7x (36c)");
+  printSpeedupRow("forward+backward", Caffe.total(), LatteBase.total(),
+                  ">7x (36c)");
+
+  std::printf("\n-- Latte (tiling + fusion + vectorization) vs Caffe --\n");
+  printSpeedupRow("forward", Caffe.FwdSec, LatteFull.FwdSec, "17.0x (36c)");
+  printSpeedupRow("backward", Caffe.BwdSec, LatteFull.BwdSec,
+                  "15.0x (36c)");
+  printSpeedupRow("forward+backward", Caffe.total(), LatteFull.total(),
+                  "15.7x (36c)");
+
+  std::printf("\n-- ablation: contribution of each optimization "
+              "(fwd+bwd time) --\n");
+  std::printf("%-44s %10.1f ms\n", "Caffe baseline", Caffe.total() * 1e3);
+  std::printf("%-44s %10.1f ms\n", "Latte, no tiling/fusion",
+              LatteBase.total() * 1e3);
+  std::printf("%-44s %10.1f ms\n", "Latte, tiling+fusion",
+              LatteFull.total() * 1e3);
+  std::printf("%-44s %10.1f ms\n", "Latte, tiling+fusion, scalar kernels",
+              LatteNoVec.total() * 1e3);
+  std::printf("\nvectorization gain: %.2fx; cross-layer gain: %.2fx\n",
+              LatteNoVec.total() / LatteFull.total(),
+              LatteBase.total() / LatteFull.total());
+  return 0;
+}

@@ -1,0 +1,47 @@
+//===- bench/fig15_vgg_groups.cpp - Figure 15 ------------------*- C++ -*-===//
+///
+/// Figure 15: speedup breakdown over the first four Conv+ReLU+Pool groups
+/// of VGG. The paper's shape: early groups (large spatial extents) benefit
+/// most from tiling+fusion; group 4 gains least because its two stacked
+/// convolutions cannot fuse (dependence along the channel dimension) and
+/// its data largely fits in cache. The harness prints measured speedups
+/// per group next to that qualitative expectation, plus each group's
+/// fusion report so the compiler's behavior is visible.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+#include "support/string_utils.h"
+
+using namespace latte;
+using namespace latte::bench;
+
+int main() {
+  const double Scale = 0.5;
+  const int64_t Batch = 2;
+  printHeader("Figure 15: per-group speedup, VGG groups 1-4",
+              "spatial scale " + std::to_string(Scale) + ", batch " +
+                  std::to_string(Batch) + ", forward+backward");
+
+  const char *PaperShape[] = {"largest gain", "large gain", "moderate gain",
+                              "smallest gain (two convs, no fusion)"};
+  for (int G = 1; G <= 4; ++G) {
+    models::ModelSpec Spec = models::vggGroup(G, Scale);
+    // Show what fused in this group.
+    core::Net Net(Batch);
+    models::buildLatte(Net, Spec, true);
+    compiler::Program P = compiler::compile(Net);
+    std::string Fused = "none";
+    if (!P.Report.FusionGroups.empty())
+      Fused = join(P.Report.FusionGroups[0], "+");
+
+    PassTimes Caffe = timeBaseline(Spec, Batch, /*Naive=*/false, 2);
+    PassTimes Latte = timeLatte(Spec, Batch, {}, 2);
+    printSpeedupRow("group " + std::to_string(G) + " (" +
+                        Spec.InputDims.str() + ")",
+                    Caffe.total(), Latte.total(), PaperShape[G - 1]);
+    std::printf("%-28s fused: %s\n", "", Fused.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+//===- bench/fig17_accelerator.cpp - Figure 17 -----------------*- C++ -*-===//
+///
+/// Figure 17: throughput (images/second) as Xeon Phi coprocessors are
+/// added to the host. The paper observes roughly +50% throughput per card
+/// (each card delivering about half the host's rate, limited by gradient
+/// return over PCIe). The host rate here is *measured* on the real engine
+/// (AlexNet forward+backward); the cards are simulated device models
+/// driven by the real runtime logic — the §6.1 chunk-size linear search
+/// and double buffering (see DESIGN.md on this substitution).
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+#include "runtime/accelerator.h"
+
+using namespace latte;
+using namespace latte::bench;
+using namespace latte::runtime;
+
+int main() {
+  const double Scale = 0.5;
+  const int64_t Batch = 8;
+  models::ModelSpec Spec = models::alexNet(Scale);
+  printHeader("Figure 17: throughput with Xeon Phi coprocessors "
+              "(simulated devices, measured host)",
+              Spec.Name + " at scale " + std::to_string(Scale) +
+                  ", fwd+bwd, batch " + std::to_string(Batch));
+
+  PassTimes Host = timeLatte(Spec, Batch, {}, 2);
+  double HostPerItem = Host.total() / Batch;
+  std::printf("measured host rate: %.2f images/s (%.1f ms/image)\n\n",
+              1.0 / HostPerItem, HostPerItem * 1e3);
+
+  int64_t GradBytes = models::countParams(Spec) * 4;
+  const int64_t SimBatch = 128;
+  double Base = 0;
+  for (int Cards = 0; Cards <= 2; ++Cards) {
+    HeterogeneousConfig C;
+    C.HostSecondsPerItem = HostPerItem;
+    C.BytesPerItem = Spec.InputDims.numElements() * 4;
+    C.GradBytes = GradBytes;
+    for (int I = 0; I < Cards; ++I)
+      C.Devices.push_back(DeviceModel{0.55, 6e9, 50e-6});
+    HeterogeneousScheduler S(C);
+    ThroughputResult R = S.throughput(SimBatch);
+    if (Cards == 0)
+      Base = R.ItemsPerSecond;
+    std::printf("Xeon + %d Phi: %8.2f images/s  (%.2fx of host-only; "
+                "chunks:", Cards, R.ItemsPerSecond,
+                R.ItemsPerSecond / Base);
+    std::printf(" host=%lld", static_cast<long long>(R.Chosen.HostItems));
+    for (int64_t D : R.Chosen.DeviceChunks)
+      std::printf(" dev=%lld", static_cast<long long>(D));
+    std::printf(")   paper: ~+50%% per card\n");
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+//===- bench/fig19_weak_scaling.cpp - Figure 19 ----------------*- C++ -*-===//
+///
+/// Figure 19: weak scaling on the commodity cluster — AlexNet with a
+/// fixed batch of 64 per node, 1-128 nodes over InfiniBand. The paper
+/// observes near-linear scaling with communication cost roughly constant
+/// in node count, matching Deep Image's asynchronous gradient summation.
+/// Setup mirrors fig18 (measured compute, simulated network).
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness.h"
+
+#include "runtime/cluster_sim.h"
+
+using namespace latte;
+using namespace latte::bench;
+using namespace latte::runtime;
+
+int main() {
+  const double Scale = 0.5;
+  const int64_t MeasureBatch = 4;
+  const int64_t PerNode = 64;
+  models::ModelSpec Spec = models::alexNet(Scale);
+
+  printHeader("Figure 19: weak scaling, batch 64 per node (AlexNet)",
+              Spec.Name + " at scale " + std::to_string(Scale) +
+                  "; compute measured at batch " +
+                  std::to_string(MeasureBatch) + ", scaled to 64/node");
+
+  PassTimes T = timeLatte(Spec, MeasureBatch, {}, 2);
+  double ScaleUp = static_cast<double>(PerNode) / MeasureBatch;
+  std::vector<LayerProfile> Profiles = estimateLayerProfiles(
+      Spec, PerNode, T.FwdSec * ScaleUp, T.BwdSec * ScaleUp);
+
+  ClusterConfig C;
+  C.Network.LatencySec = 20e-6;          // InfiniBand-class
+  C.Network.BandwidthBytesPerSec = 5e9;
+  double T1 = 0;
+  std::printf("%6s %14s %14s %12s %16s\n", "nodes", "iter (ms)",
+              "images/s", "scaling", "exposed comm (ms)");
+  for (int Nodes : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    C.Nodes = Nodes;
+    ClusterResult R = simulateIteration(Profiles, C, PerNode, PerNode);
+    double Tput = Nodes * PerNode / R.IterSeconds;
+    if (Nodes == 1)
+      T1 = Tput;
+    std::printf("%6d %14.1f %14.1f %11.2fx %16.2f\n", Nodes,
+                R.IterSeconds * 1e3, Tput, Tput / T1,
+                R.ExposedCommSeconds * 1e3);
+  }
+  std::printf("paper: near-linear scaling; communication cost constant in "
+              "node count\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+//===- bench/fig20_mnist_accuracy.cpp - Figure 20 --------------*- C++ -*-===//
+///
+/// Figure 20: MNIST Top-1 accuracy with lossy (unsynchronized) gradient
+/// accumulation versus sequential training. The paper reports identical
+/// 99.20% accuracy for both modes, concluding the parallelization noise
+/// does not degrade training (Project Adam's observation). Real MNIST is
+/// unavailable offline; the synthetic MNIST substitute (see DESIGN.md)
+/// provides an equivalent learnable task. Both configurations train the
+/// same convolutional network for the same number of steps.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/compiler.h"
+#include "data/datasets.h"
+#include "models/models.h"
+#include "runtime/data_parallel.h"
+#include "solvers/solvers.h"
+
+#include <cstdio>
+
+using namespace latte;
+using namespace latte::runtime;
+using namespace latte::solvers;
+
+namespace {
+
+double trainAndEvaluate(bool Lossy, int Workers, const data::Dataset &Ds) {
+  const int64_t Batch = 16;
+  const int Iters = 700;
+  NetBuilder Builder = [&](core::Net &Net) {
+    models::ModelSpec Spec;
+    Spec.Name = "MnistNet";
+    Spec.InputDims = Ds.itemDims();
+    Spec.NumClasses = 10;
+    Spec.Layers = {
+        {models::LayerSpec::Kind::Conv, "conv1", 8, 5, 1, 0, 0.5},
+        {models::LayerSpec::Kind::Relu, "relu1", 0, 0, 1, 0, 0.5},
+        {models::LayerSpec::Kind::MaxPool, "pool1", 0, 2, 2, 0, 0.5},
+        {models::LayerSpec::Kind::Fc, "fc1", 64, 0, 1, 0, 0.5},
+        {models::LayerSpec::Kind::Relu, "relu2", 0, 0, 1, 0, 0.5},
+    };
+    models::buildLatte(Net, Spec, /*WithLoss=*/true);
+  };
+
+  DataParallelOptions O;
+  O.NumWorkers = Workers;
+  O.LossyGradients = Lossy;
+  DataParallelTrainer T(Builder, Batch, O);
+
+  SolverParameters P;
+  P.Lr = LRPolicy::inv(0.02, 0.001, 0.75);
+  P.Momentum = MomPolicy::fixed(0.9);
+  SgdSolver S(P);
+
+  // Train on the first half of the dataset; evaluate on the held-out
+  // second half (fresh noise and shifts the model never saw).
+  const int64_t TrainItems = Ds.size() / 2;
+  Tensor Data(Ds.itemDims().withPrefix(Batch));
+  Tensor Labels(Shape{Batch});
+  int64_t ItemSize = Ds.itemDims().numElements();
+  for (int Iter = 0; Iter < Iters; ++Iter) {
+    for (int64_t I = 0; I < Batch; ++I)
+      Labels.at(I) = static_cast<float>(Ds.fillItem(
+          (Iter * Batch + I) % TrainItems, Data.data() + I * ItemSize));
+    T.trainStep(Data, Labels, S, Iter);
+  }
+  // Evaluation runs on one worker replica, at its per-worker batch size.
+  engine::Executor &Ex = T.worker(0);
+  int64_t WorkerBatch = Ex.program().BatchSize;
+  Tensor EvalData(Ds.itemDims().withPrefix(WorkerBatch));
+  Tensor EvalLabels(Shape{WorkerBatch});
+  int64_t EvalBatches = TrainItems / WorkerBatch;
+  double Sum = 0;
+  for (int64_t B = 0; B < EvalBatches; ++B) {
+    for (int64_t I = 0; I < WorkerBatch; ++I)
+      EvalLabels.at(I) = static_cast<float>(
+          Ds.fillItem(TrainItems + B * WorkerBatch + I,
+                      EvalData.data() + I * ItemSize));
+    Ex.setInput(EvalData);
+    Ex.setLabels(EvalLabels);
+    Ex.forward();
+    Sum += Ex.accuracy();
+  }
+  return Sum / static_cast<double>(EvalBatches);
+}
+
+} // namespace
+
+int main() {
+  data::SyntheticMnist Ds(1024, 0xfab, 10, 16, 0.4f, 2);
+  std::printf("=========================================================\n");
+  std::printf("Figure 20: Top-1 accuracy, lossy vs sequential gradients\n");
+  std::printf("(synthetic MNIST substitute; held-out eval; 700 steps)\n");
+  std::printf("=========================================================\n");
+  std::printf("%-34s %10s   %s\n", "configuration", "accuracy", "paper");
+  double Seq = trainAndEvaluate(/*Lossy=*/false, /*Workers=*/1, Ds);
+  std::printf("%-34s %9.2f%%   %s\n", "Latte (sequential)", 100 * Seq,
+              "99.20%");
+  double Sync = trainAndEvaluate(/*Lossy=*/false, /*Workers=*/4, Ds);
+  std::printf("%-34s %9.2f%%   %s\n",
+              "Latte (4 workers, synchronized)", 100 * Sync, "-");
+  double Lossy = trainAndEvaluate(/*Lossy=*/true, /*Workers=*/4, Ds);
+  std::printf("%-34s %9.2f%%   %s\n", "Latte (4 workers, lossy)",
+              100 * Lossy, "99.20%");
+  std::printf("\npaper's conclusion reproduced when lossy ~= sequential "
+              "(delta here: %.2f points)\n",
+              100.0 * (Seq - Lossy));
+  return 0;
+}

@@ -1,0 +1,109 @@
+//===- bench/harness.h - Shared figure-harness helpers --------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the per-figure benchmark binaries: building and
+/// timing the same ModelSpec on Latte, the Caffe baseline, and the Mocha
+/// baseline, plus row printing with the paper's published values alongside
+/// the measured ones.
+///
+/// NOTE ON SCALE: the paper's numbers come from a 36-core Xeon E5-2699 v3;
+/// this harness runs wherever it is built (possibly one core) and at a
+/// reduced spatial scale (printed in each header). Speedup *ratios*
+/// attributable to algorithmic structure (fusion, tiling, kernel choice,
+/// naive vs optimized baselines) survive; the parallelization factor of
+/// the paper scales with the available cores. EXPERIMENTS.md discusses
+/// each figure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_BENCH_HARNESS_H
+#define LATTE_BENCH_HARNESS_H
+
+#include "baselines/mocha/mocha.h"
+#include "compiler/compiler.h"
+#include "engine/executor.h"
+#include "models/models.h"
+#include "support/timer.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+namespace latte {
+namespace bench {
+
+struct PassTimes {
+  double FwdSec = 0.0;
+  double BwdSec = 0.0;
+  double total() const { return FwdSec + BwdSec; }
+};
+
+inline void fillRandom(Tensor &T, uint64_t Seed) {
+  Rng R(Seed);
+  R.fillGaussian(T, 0.0f, 1.0f);
+}
+
+/// Times Latte forward/backward for one batch (min over \p Reps).
+inline PassTimes timeLatte(const models::ModelSpec &Spec, int64_t Batch,
+                           const compiler::CompileOptions &Opts,
+                           int Reps = 3) {
+  core::Net Net(Batch);
+  models::buildLatte(Net, Spec, /*WithLoss=*/true);
+  engine::ExecOptions EO;
+  EO.VectorKernels = Opts.VectorKernels;
+  EO.Parallel = Opts.Parallelize;
+  engine::Executor Ex(compiler::compile(Net, Opts), EO);
+  Ex.initParams(1);
+  Tensor In(Spec.InputDims.withPrefix(Batch));
+  fillRandom(In, 7);
+  Ex.setInput(In);
+  Tensor Labels(Shape{Batch, 1});
+  for (int64_t I = 0; I < Batch; ++I)
+    Labels.at(I) = static_cast<float>(I % Spec.NumClasses);
+  Ex.setLabels(Labels);
+
+  PassTimes T;
+  T.FwdSec = bestWallTime([&] { Ex.forward(); }, Reps);
+  T.BwdSec = bestWallTime([&] { Ex.backward(); }, Reps);
+  return T;
+}
+
+/// Times one of the baselines (Caffe when \p Naive is false, Mocha
+/// otherwise).
+inline PassTimes timeBaseline(const models::ModelSpec &Spec, int64_t Batch,
+                              bool Naive, int Reps = 3) {
+  caffe::CaffeNet Net(Batch);
+  if (Naive)
+    models::buildMocha(Net, Spec, /*WithLoss=*/true);
+  else
+    models::buildCaffe(Net, Spec, /*WithLoss=*/true);
+  Net.setup(1);
+  fillRandom(Net.inputBlob().Data, 7);
+  for (int64_t I = 0; I < Batch; ++I)
+    Net.labelBlob().Data.at(I) = static_cast<float>(I % Spec.NumClasses);
+
+  PassTimes T;
+  T.FwdSec = bestWallTime([&] { Net.forward(); }, Reps);
+  T.BwdSec = bestWallTime([&] { Net.backward(); }, Reps);
+  return T;
+}
+
+inline void printHeader(const std::string &Title,
+                        const std::string &Workload) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", Title.c_str());
+  std::printf("workload: %s\n", Workload.c_str());
+  std::printf("==========================================================\n");
+}
+
+inline void printSpeedupRow(const std::string &Label, double BaselineSec,
+                            double LatteSec, const std::string &PaperNote) {
+  std::printf("%-28s %10.1f ms %10.1f ms  speedup %5.2fx   paper: %s\n",
+              Label.c_str(), BaselineSec * 1e3, LatteSec * 1e3,
+              BaselineSec / LatteSec, PaperNote.c_str());
+}
+
+} // namespace bench
+} // namespace latte
+
+#endif // LATTE_BENCH_HARNESS_H

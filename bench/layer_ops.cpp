@@ -1,0 +1,80 @@
+//===- bench/layer_ops.cpp - Layer-level microbenchmarks ------*- C++ -*-===//
+///
+/// google-benchmark comparison of one convolution layer across the three
+/// systems (Latte compiled program, Caffe baseline, Mocha baseline) and of
+/// Latte's pooling/activation kernels — the per-layer view underneath the
+/// whole-model figures.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/mocha/mocha.h"
+#include "compiler/compiler.h"
+#include "core/layers/layers.h"
+#include "engine/executor.h"
+#include "kernels/pooling.h"
+#include "support/rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace latte;
+
+namespace {
+
+constexpr int64_t Cin = 16, H = 32, F = 32, Kk = 3;
+
+void BM_ConvForwardLatte(benchmark::State &State) {
+  core::Net Net(1);
+  auto *Data = layers::DataLayer(Net, "data", Shape{Cin, H, H});
+  layers::ConvolutionLayer(Net, "conv", Data, F, Kk, 1, 1);
+  engine::Executor Ex(compiler::compile(Net));
+  Ex.initParams(1);
+  Tensor In(Shape{1, Cin, H, H});
+  Rng R(3);
+  R.fillGaussian(In, 0.0f, 1.0f);
+  Ex.setInput(In);
+  for (auto _ : State)
+    Ex.forward();
+}
+
+void BM_ConvForwardCaffe(benchmark::State &State) {
+  caffe::CaffeNet Net(1);
+  Net.setInputShape(Shape{Cin, H, H});
+  Net.addLayer(
+      std::make_unique<caffe::ConvolutionLayer>("conv", F, Kk, 1, 1));
+  Net.setup(1);
+  Rng R(3);
+  R.fillGaussian(Net.inputBlob().Data, 0.0f, 1.0f);
+  for (auto _ : State)
+    Net.forward();
+}
+
+void BM_ConvForwardMocha(benchmark::State &State) {
+  caffe::CaffeNet Net(1);
+  Net.setInputShape(Shape{Cin, H, H});
+  Net.addLayer(std::make_unique<mocha::NaiveConvolutionLayer>("conv", F, Kk,
+                                                              1, 1));
+  Net.setup(1);
+  Rng R(3);
+  R.fillGaussian(Net.inputBlob().Data, 0.0f, 1.0f);
+  for (auto _ : State)
+    Net.forward();
+}
+
+void BM_MaxPoolKernel(benchmark::State &State) {
+  kernels::ConvGeometry G{64, 56, 56, 2, 2, 2, 2, 0, 0};
+  Tensor In(Shape{64, 56, 56}), Out(Shape{64, 28, 28});
+  std::vector<int32_t> Mask(static_cast<size_t>(Out.numElements()));
+  Rng R(5);
+  R.fillGaussian(In, 0.0f, 1.0f);
+  for (auto _ : State)
+    kernels::maxPoolFwd(In.data(), G, Out.data(), Mask.data());
+}
+
+} // namespace
+
+BENCHMARK(BM_ConvForwardLatte)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConvForwardCaffe)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConvForwardMocha)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MaxPoolKernel)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,155 @@
+//===- examples/custom_neuron.cpp - Defining a novel layer ----*- C++ -*-===//
+///
+/// The paper's headline programmability claim: a researcher defines a new
+/// neuron type — here a "swishish" gated unit, value = x * sigmoid(beta*x)
+/// with a learnable gain beta — exactly the way the standard library
+/// defines WeightedNeuron (§3.1, Figure 3): declare fields, write forward
+/// and backward as per-neuron programs, and let the compiler synthesize
+/// the ensemble code. No pattern matches this computation, so the report
+/// shows the general synthesized path executing it; gradients still come
+/// out right (verified against finite differences below) and the layer
+/// trains inside an ordinary network.
+///
+/// Build & run:  ./examples/custom_neuron
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/compiler.h"
+#include "core/layers/layers.h"
+#include "engine/executor.h"
+#include "support/string_utils.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace latte;
+using namespace latte::core;
+using namespace latte::ir;
+using namespace latte::layers;
+
+namespace {
+
+/// value = input * sigmoid(beta * input); d/dinput and d/dbeta follow the
+/// product rule. Written against the surface DSL, like Figure 3.
+NeuronType makeSwishNeuronType() {
+  using namespace core::dsl;
+  std::vector<FieldSpec> Fields = {
+      {"beta", Shape{1}, /*IsParam=*/true, /*HasGrad=*/true, 1.0f},
+  };
+  NeuronBodyFn Fwd = [](const NeuronContext &) {
+    // value = x * sigmoid(beta * x)
+    return setValue(
+        mul(input(0, intConst(0)),
+            sigmoid(mul(field("beta", indexList(intConst(0))),
+                        input(0, intConst(0))))));
+  };
+  NeuronBodyFn Bwd = [](const NeuronContext &) {
+    // s = sigmoid(beta*x); dvalue/dx = s + beta*x*s*(1-s)
+    //                      dvalue/dbeta = x^2 * s * (1-s)
+    auto X = [] { return input(0, intConst(0)); };
+    auto S = [&] {
+      return sigmoid(mul(field("beta", indexList(intConst(0))), X()));
+    };
+    std::vector<StmtPtr> Stmts;
+    Stmts.push_back(accumGradInput(
+        0, intConst(0),
+        mul(grad(),
+            add(S(), mul(mul(field("beta", indexList(intConst(0))), X()),
+                         mul(S(), sub(floatConst(1.0), S())))))));
+    Stmts.push_back(accumField(
+        "grad_beta", indexList(intConst(0)),
+        mul(grad(), mul(mul(X(), X()),
+                        mul(S(), sub(floatConst(1.0), S()))))));
+    return block(std::move(Stmts));
+  };
+  return NeuronType("SwishNeuron", std::move(Fields), std::move(Fwd),
+                    std::move(Bwd));
+}
+
+Ensemble *swishLayer(Net &Net, const std::string &Name, Ensemble *Input) {
+  const NeuronType *T = Net.findType("SwishNeuron");
+  if (!T)
+    T = Net.registerType(makeSwishNeuronType());
+  Ensemble *E = Net.addEnsemble(Name, Input->dims(), T);
+  FieldStorage Beta;
+  Beta.StorageDims = Shape{1};
+  Beta.ElemDims = Shape{1};
+  Beta.Map = [](const std::vector<int64_t> &) {
+    return std::vector<int64_t>{0};
+  };
+  Beta.Init = FieldInitKind::Constant;
+  Beta.InitValue = 1.0f;
+  E->setFieldStorage("beta", std::move(Beta));
+  Net.addConnections(Input, E, oneToOneMapping());
+  return E;
+}
+
+} // namespace
+
+int main() {
+  core::Net Net(4);
+  Ensemble *Data = DataLayer(Net, "data", Shape{6});
+  Ensemble *Fc1 = FullyConnectedLayer(Net, "fc1", Data, 10);
+  Ensemble *Swish = swishLayer(Net, "swish", Fc1);
+  Ensemble *Fc2 = FullyConnectedLayer(Net, "fc2", Swish, 3);
+  Ensemble *Labels = LabelLayer(Net, "labels");
+  SoftmaxLossLayer(Net, "loss", Fc2, Labels);
+
+  compiler::Program P = compiler::compile(Net);
+  std::printf("GEMM-matched: %s\n",
+              join(P.Report.MatchedGemmEnsembles, ", ").c_str());
+  std::printf("interpreted (novel neuron): %s\n",
+              join(P.Report.InterpretedEnsembles, ", ").c_str());
+
+  engine::Executor Ex(std::move(P));
+  Ex.initParams(7);
+  Rng R(11);
+  Tensor In(Shape{4, 6});
+  R.fillGaussian(In, 0.0f, 1.0f);
+  Ex.setInput(In);
+  Tensor L(Shape{4, 1});
+  for (int I = 0; I < 4; ++I)
+    L.at(I) = static_cast<float>(I % 3);
+  Ex.setLabels(L);
+
+  // Gradient check on the learnable gain.
+  Ex.forward();
+  Ex.backward();
+  float Analytic = Ex.readBuffer("swish_grad_beta").at(0);
+  const float Eps = 1e-2f;
+  Tensor Beta = Ex.readBuffer("swish_beta");
+  float Orig = Beta.at(0);
+  Beta.at(0) = Orig + Eps;
+  Ex.writeBuffer("swish_beta", Beta);
+  Ex.forward();
+  double Plus = Ex.lossValue();
+  Beta.at(0) = Orig - Eps;
+  Ex.writeBuffer("swish_beta", Beta);
+  Ex.forward();
+  double Minus = Ex.lossValue();
+  Beta.at(0) = Orig;
+  Ex.writeBuffer("swish_beta", Beta);
+  double Numeric = (Plus - Minus) / (2 * Eps);
+  std::printf("d(loss)/d(beta): analytic %.6f vs numeric %.6f\n", Analytic,
+              Numeric);
+  bool Ok = std::fabs(Analytic - Numeric) < 1e-3;
+
+  // And it trains.
+  double First = 0, Last = 0;
+  for (int Iter = 0; Iter < 120; ++Iter) {
+    Ex.forward();
+    Ex.backward();
+    for (const compiler::ParamBinding &B : Ex.program().Params) {
+      float *Param = Ex.data(B.Param);
+      const float *Grad = Ex.data(B.Grad);
+      for (int64_t I = 0; I < Ex.size(B.Param); ++I)
+        Param[I] -= 0.2f * Grad[I];
+    }
+    if (Iter == 0)
+      First = Ex.lossValue();
+    Last = Ex.lossValue();
+  }
+  std::printf("loss %.4f -> %.4f after 120 steps; beta learned to %.3f\n",
+              First, Last, Ex.readBuffer("swish_beta").at(0));
+  return Ok && Last < First ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+//===- examples/lstm_sequence.cpp - Recurrent block demo ------*- C++ -*-===//
+///
+/// Recurrent networks in Latte (paper §4, Figure 6): an LSTM block,
+/// unrolled over time with weights tied across timesteps, learns an
+/// order-sensitive task a memoryless model cannot: "did the marker arrive
+/// early or late in the sequence?".
+///
+/// Build & run:  ./examples/lstm_sequence
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/compiler.h"
+#include "core/layers/recurrent.h"
+#include "engine/executor.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace latte;
+using namespace latte::layers;
+
+int main() {
+  const int64_t Batch = 16;
+  const int T = 5;
+  const int64_t InputSize = 3;
+  const int64_t Hidden = 8;
+
+  core::Net Net(Batch);
+  std::vector<core::Ensemble *> Xs;
+  for (int S = 0; S < T; ++S)
+    Xs.push_back(
+        DataLayer(Net, "x" + std::to_string(S), Shape{InputSize}));
+  RecurrentOutputs Lstm = LstmLayer(Net, "lstm", Xs, Hidden);
+  core::Ensemble *Fc =
+      FullyConnectedLayer(Net, "fc", Lstm.Hidden.back(), 2);
+  core::Ensemble *Labels = LabelLayer(Net, "labels");
+  SoftmaxLossLayer(Net, "loss", Fc, Labels);
+
+  compiler::Program P = compiler::compile(Net);
+  std::printf("LSTM unrolled over %d timesteps: %zu ensembles, "
+              "%zu parameter tensors (weights tied across time)\n",
+              T, Net.ensembles().size(), P.Params.size());
+  engine::Executor Ex(std::move(P));
+  Ex.initParams(99);
+
+  Rng R(2718);
+  double Loss = 0;
+  for (int Iter = 0; Iter < 300; ++Iter) {
+    // Task: a spike on channel 0 arrives at the first (label 0) or last
+    // (label 1) timestep; the other channels carry noise.
+    std::vector<Tensor> Inputs;
+    for (int S = 0; S < T; ++S)
+      Inputs.emplace_back(Shape{Batch, InputSize});
+    Tensor Lab(Shape{Batch, 1});
+    for (int64_t B = 0; B < Batch; ++B) {
+      int64_t L = R.uniformInt(2);
+      Lab.at(B) = static_cast<float>(L);
+      int Hot = L == 0 ? 0 : T - 1;
+      for (int S = 0; S < T; ++S) {
+        Inputs[S].at(B * InputSize) = S == Hot ? 2.0f : 0.0f;
+        for (int64_t C = 1; C < InputSize; ++C)
+          Inputs[S].at(B * InputSize + C) =
+              static_cast<float>(R.gaussian(0.0, 0.2));
+      }
+    }
+    for (int S = 0; S < T; ++S)
+      Ex.writeBuffer("x" + std::to_string(S) + "_value", Inputs[S]);
+    Ex.setLabels(Lab);
+    Ex.forward();
+    Ex.backward();
+    for (const compiler::ParamBinding &B : Ex.program().Params) {
+      float *Param = Ex.data(B.Param);
+      const float *Grad = Ex.data(B.Grad);
+      for (int64_t I = 0; I < Ex.size(B.Param); ++I)
+        Param[I] -= 0.15f * Grad[I];
+    }
+    Loss = Ex.lossValue();
+    if (Iter % 60 == 0)
+      std::printf("iter %3d  loss %.4f  accuracy %.2f\n", Iter, Loss,
+                  Ex.accuracy());
+  }
+  std::printf("final loss %.4f, accuracy %.2f\n", Loss, Ex.accuracy());
+  return Ex.accuracy() > 0.8 ? 0 : 1;
+}

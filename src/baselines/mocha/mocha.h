@@ -1,0 +1,101 @@
+//===- baselines/mocha/mocha.h - Mocha.jl-style naive baseline -*- C++ -*-===//
+///
+/// \file
+/// The second baseline of the paper's evaluation (§7.1.3): a high-level
+/// framework in the style of Mocha.jl. The defining properties the paper
+/// attributes to it — no parallelization, no tiling, straightforward
+/// single-threaded loops, allocation per call — are reproduced here with
+/// naive layer implementations (direct convolution loops, unblocked
+/// scalar GEMM, per-call scratch allocation). The blob/network plumbing is
+/// shared with the Caffe baseline; only the kernels differ, which is
+/// exactly the axis the paper measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_BASELINES_MOCHA_MOCHA_H
+#define LATTE_BASELINES_MOCHA_MOCHA_H
+
+#include "baselines/caffe/caffe.h"
+
+namespace latte {
+namespace mocha {
+
+/// Direct (non-GEMM) convolution with scalar loops.
+class NaiveConvolutionLayer : public caffe::Layer {
+public:
+  NaiveConvolutionLayer(std::string Name, int64_t NumFilters, int64_t Kernel,
+                        int64_t Stride, int64_t Pad)
+      : Layer(std::move(Name)), NumFilters(NumFilters), Kernel(Kernel),
+        Stride(Stride), Pad(Pad) {}
+
+  void reshape(const std::vector<caffe::Blob *> &Bottom,
+               const std::vector<caffe::Blob *> &Top) override;
+  void forward(const std::vector<caffe::Blob *> &Bottom,
+               const std::vector<caffe::Blob *> &Top) override;
+  void backward(const std::vector<caffe::Blob *> &Bottom,
+                const std::vector<caffe::Blob *> &Top) override;
+  void initParams(Rng &R) override;
+
+private:
+  int64_t NumFilters, Kernel, Stride, Pad;
+  kernels::ConvGeometry Geom;
+};
+
+/// Fully connected layer using the unblocked scalar GEMM.
+class NaiveInnerProductLayer : public caffe::Layer {
+public:
+  NaiveInnerProductLayer(std::string Name, int64_t NumOutputs)
+      : Layer(std::move(Name)), NumOutputs(NumOutputs) {}
+
+  void reshape(const std::vector<caffe::Blob *> &Bottom,
+               const std::vector<caffe::Blob *> &Top) override;
+  void forward(const std::vector<caffe::Blob *> &Bottom,
+               const std::vector<caffe::Blob *> &Top) override;
+  void backward(const std::vector<caffe::Blob *> &Bottom,
+                const std::vector<caffe::Blob *> &Top) override;
+  void initParams(Rng &R) override;
+
+private:
+  int64_t NumOutputs;
+  int64_t NumInputs = 0;
+};
+
+/// Out-of-place scalar ReLU (Mocha allocates a fresh output blob).
+class NaiveReluLayer : public caffe::Layer {
+public:
+  explicit NaiveReluLayer(std::string Name) : Layer(std::move(Name)) {}
+  void reshape(const std::vector<caffe::Blob *> &Bottom,
+               const std::vector<caffe::Blob *> &Top) override;
+  void forward(const std::vector<caffe::Blob *> &Bottom,
+               const std::vector<caffe::Blob *> &Top) override;
+  void backward(const std::vector<caffe::Blob *> &Bottom,
+                const std::vector<caffe::Blob *> &Top) override;
+};
+
+/// Naive max pooling with full window rescans in backward (no argmax
+/// cache).
+class NaiveMaxPoolingLayer : public caffe::Layer {
+public:
+  NaiveMaxPoolingLayer(std::string Name, int64_t Kernel, int64_t Stride,
+                       int64_t Pad = 0)
+      : Layer(std::move(Name)), Kernel(Kernel), Stride(Stride), Pad(Pad) {}
+
+  void reshape(const std::vector<caffe::Blob *> &Bottom,
+               const std::vector<caffe::Blob *> &Top) override;
+  void forward(const std::vector<caffe::Blob *> &Bottom,
+               const std::vector<caffe::Blob *> &Top) override;
+  void backward(const std::vector<caffe::Blob *> &Bottom,
+                const std::vector<caffe::Blob *> &Top) override;
+
+private:
+  int64_t Kernel, Stride, Pad;
+  kernels::ConvGeometry Geom;
+};
+
+/// The Mocha baseline reuses the shared sequential-net plumbing.
+using MochaNet = caffe::CaffeNet;
+
+} // namespace mocha
+} // namespace latte
+
+#endif // LATTE_BASELINES_MOCHA_MOCHA_H

@@ -1,0 +1,199 @@
+//===- compiler/analysis.cpp ----------------------------------*- C++ -*-===//
+
+#include "compiler/analysis.h"
+
+#include "support/error.h"
+
+#include <algorithm>
+
+using namespace latte;
+using namespace latte::compiler;
+using namespace latte::core;
+
+namespace {
+
+/// Sample indices along a dimension of extent N: ends plus a midpoint.
+std::vector<int64_t> samplePoints(int64_t N) {
+  std::vector<int64_t> Points = {0};
+  if (N > 1)
+    Points.push_back(N - 1);
+  if (N > 2)
+    Points.push_back(N / 2);
+  return Points;
+}
+
+bool boxEquals(const std::vector<Range> &A, const std::vector<Range> &B) {
+  return A == B;
+}
+
+} // namespace
+
+ConnectionInfo compiler::analyzeConnection(const Connection &Conn,
+                                           const Shape &SinkDims) {
+  assert(Conn.Mapping && "connection has no mapping function");
+  const int SinkRank = SinkDims.rank();
+
+  ConnectionInfo Info;
+  std::vector<int64_t> Zero(SinkRank, 0);
+  Info.BaseBox = Conn.Mapping(Zero);
+  const int SrcRank = static_cast<int>(Info.BaseBox.size());
+
+  Info.WindowSizes.resize(SrcRank);
+  for (int D = 0; D < SrcRank; ++D)
+    Info.WindowSizes[D] = Info.BaseBox[D].size();
+  Info.WindowVolume = 1;
+  for (int64_t W : Info.WindowSizes)
+    Info.WindowVolume *= W;
+
+  Info.SharedDims.assign(SinkRank, true);
+  Info.Strides.assign(SinkRank, std::vector<int64_t>(SrcRank, 0));
+
+  // Probe each sink dimension independently: step it while holding the
+  // others at zero, and check (a) invariance, (b) affine motion of the box.
+  for (int D = 0; D < SinkRank; ++D) {
+    if (SinkDims[D] <= 1)
+      continue; // a dimension of extent 1 is trivially shared
+    std::vector<int64_t> Index = Zero;
+    Index[D] = 1;
+    std::vector<Range> StepBox = Conn.Mapping(Index);
+    if (static_cast<int>(StepBox.size()) != SrcRank)
+      reportFatalError("mapping returns boxes of varying rank");
+
+    bool Invariant = boxEquals(StepBox, Info.BaseBox);
+    Info.SharedDims[D] = Invariant;
+    if (Invariant)
+      continue;
+
+    // Candidate strides from the unit step.
+    for (int S = 0; S < SrcRank; ++S) {
+      if (StepBox[S].size() != Info.WindowSizes[S])
+        reportFatalError("mapping window size varies across ensemble '" +
+                         std::string("dimension ") + std::to_string(D) + "'");
+      Info.Strides[D][S] = StepBox[S].Begin - Info.BaseBox[S].Begin;
+    }
+
+    // Verify affinity at further sample points.
+    for (int64_t P : samplePoints(SinkDims[D])) {
+      Index[D] = P;
+      std::vector<Range> Probe = Conn.Mapping(Index);
+      for (int S = 0; S < SrcRank; ++S) {
+        if (Probe[S].size() != Info.WindowSizes[S])
+          reportFatalError("mapping window size varies across the ensemble");
+        if (Probe[S].Begin !=
+            Info.BaseBox[S].Begin + P * Info.Strides[D][S]) {
+          Info.Linear = false;
+          break;
+        }
+      }
+      if (!Info.Linear)
+        break;
+    }
+    Index[D] = 0;
+  }
+
+  // Cross-check a combined sample (both first dims stepped) to catch
+  // mappings that are linear per-dim but not jointly affine.
+  if (Info.Linear && SinkRank >= 2 && SinkDims[0] > 1 && SinkDims[1] > 1) {
+    std::vector<int64_t> Index = Zero;
+    Index[0] = SinkDims[0] - 1;
+    Index[1] = SinkDims[1] - 1;
+    std::vector<Range> Probe = Conn.Mapping(Index);
+    for (int S = 0; S < SrcRank && Info.Linear; ++S) {
+      int64_t Expected = Info.BaseBox[S].Begin +
+                         Index[0] * Info.Strides[0][S] +
+                         Index[1] * Info.Strides[1][S];
+      if (Probe[S].Begin != Expected)
+        Info.Linear = false;
+    }
+  }
+
+  Info.FullyShared =
+      std::all_of(Info.SharedDims.begin(), Info.SharedDims.end(),
+                  [](bool S) { return S; });
+
+  // One-to-one: identity box per dimension.
+  if (!Info.FullyShared && SrcRank == SinkRank && Info.WindowVolume == 1 &&
+      Info.Linear) {
+    bool Identity = true;
+    for (int D = 0; D < SinkRank && Identity; ++D) {
+      if (Info.BaseBox[D].Begin != 0)
+        Identity = false;
+      for (int S = 0; S < SrcRank && Identity; ++S) {
+        int64_t Want = (S == D) ? 1 : 0;
+        // Shared dims (extent 1) keep stride 0; treat as matching.
+        if (SinkDims[D] > 1 && Info.Strides[D][S] != Want)
+          Identity = false;
+      }
+    }
+    Info.OneToOne = Identity;
+  }
+  // A 1-neuron-per-dim ensemble connected 1:1 is also one-to-one.
+  if (Info.FullyShared && SrcRank == SinkRank && Info.WindowVolume == 1) {
+    bool AtOrigin = true;
+    for (int D = 0; D < SrcRank; ++D)
+      AtOrigin &= Info.BaseBox[D].Begin == 0;
+    bool SinkIsSingleton = SinkDims.numElements() == 1;
+    Info.OneToOne = AtOrigin && SinkIsSingleton;
+  }
+  return Info;
+}
+
+FieldMapInfo compiler::analyzeFieldMap(const FieldStorage &Storage,
+                                       const Shape &SinkDims) {
+  FieldMapInfo Info;
+  const int StorageRank = Storage.StorageDims.rank();
+  Info.DimSelectors.assign(StorageRank, -1);
+
+  if (!Storage.Map) {
+    // Identity: storage dims mirror the sink dims one-for-one.
+    if (StorageRank != SinkDims.rank())
+      reportFatalError("field storage without a map must match the ensemble "
+                       "rank");
+    for (int I = 0; I < StorageRank; ++I)
+      Info.DimSelectors[I] = I;
+    Info.IsProjection = true;
+    return Info;
+  }
+
+  std::vector<int64_t> Zero(SinkDims.rank(), 0);
+  std::vector<int64_t> Base = Storage.Map(Zero);
+  if (static_cast<int>(Base.size()) != StorageRank)
+    reportFatalError("field map rank does not match its storage shape");
+  for (int64_t B : Base)
+    if (B != 0) {
+      Info.IsProjection = false;
+      return Info;
+    }
+
+  // For each sink dim, step it and see which storage dims move by exactly 1.
+  Info.IsProjection = true;
+  for (int D = 0; D < SinkDims.rank(); ++D) {
+    if (SinkDims[D] <= 1)
+      continue;
+    std::vector<int64_t> Index = Zero;
+    Index[D] = 1;
+    std::vector<int64_t> Step = Storage.Map(Index);
+    for (int J = 0; J < StorageRank; ++J) {
+      int64_t Delta = Step[J] - Base[J];
+      if (Delta == 0)
+        continue;
+      if (Delta != 1 || Info.DimSelectors[J] != -1) {
+        Info.IsProjection = false;
+        return Info;
+      }
+      Info.DimSelectors[J] = D;
+      // Verify on a far sample.
+      std::vector<int64_t> Far = Zero;
+      Far[D] = SinkDims[D] - 1;
+      if (Storage.Map(Far)[J] != SinkDims[D] - 1) {
+        Info.IsProjection = false;
+        return Info;
+      }
+    }
+  }
+  // Every storage dim must have found its selector.
+  for (int J = 0; J < StorageRank; ++J)
+    if (Info.DimSelectors[J] == -1 && Storage.StorageDims[J] > 1)
+      Info.IsProjection = false;
+  return Info;
+}

@@ -1,0 +1,98 @@
+//===- compiler/analysis.h - Shared-variable analysis ----------*- C++ -*-===//
+///
+/// \file
+/// The analysis phase of the Latte compiler (§5.2). Connections are stored
+/// as implicit adjacency lists — mapping functions — so the compiler
+/// recovers structure by *probing*: evaluating the mapping at sample neuron
+/// indices and comparing the returned source boxes.
+///
+/// For every connection the analysis determines, per sink dimension:
+///   - whether the mapping is invariant along it (a *shared* dimension —
+///     those neurons can consume the same input buffer, Figure 8);
+///   - whether it slides linearly (window stride), and the window extent —
+///     the ingredients of the dependence-distance metadata used by tiling
+///     and fusion (§5.4).
+/// It also classifies one-to-one connections (ActivationEnsembles run
+/// in place) and validates that window volume is uniform, which the
+/// homogeneous-ensemble guarantee requires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_COMPILER_ANALYSIS_H
+#define LATTE_COMPILER_ANALYSIS_H
+
+#include "core/graph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace latte {
+namespace compiler {
+
+/// How one sink dimension relates to one source dimension.
+struct DimRelation {
+  int64_t Stride = 0; ///< source Begin moves Stride per unit sink step
+  int64_t Window = 0; ///< range size in this source dimension
+};
+
+/// Result of probing one connection.
+struct ConnectionInfo {
+  /// Per sink dimension: true when the mapping result does not depend on
+  /// the index along that dimension.
+  std::vector<bool> SharedDims;
+
+  /// Per (sink dim, source dim): stride of the box Begin. Zero when the
+  /// source dim does not move with that sink dim (or the sink dim is
+  /// shared). Only meaningful when Linear is true.
+  std::vector<std::vector<int64_t>> Strides;
+
+  /// Window extents per source dimension (uniform across neurons).
+  std::vector<int64_t> WindowSizes;
+
+  /// Flattened window volume (product of WindowSizes).
+  int64_t WindowVolume = 0;
+
+  /// True when the probing found the box Begin to be affine in the sink
+  /// index (all standard layers). Non-linear mappings fall back to
+  /// fully-general gather synthesis.
+  bool Linear = true;
+
+  /// True when the connection is a bijective identity: same rank, window
+  /// volume 1, box == {sink index}. Enables in-place execution.
+  bool OneToOne = false;
+
+  /// True when every sink dimension is shared (fully connected): all
+  /// neurons read the same box covering part or all of the source.
+  bool FullyShared = false;
+
+  /// The box returned for the all-zeros sink index (the base box).
+  std::vector<core::Range> BaseBox;
+
+  int numSharedDims() const {
+    int N = 0;
+    for (bool S : SharedDims)
+      N += S;
+    return N;
+  }
+};
+
+/// Probes \p Conn's mapping over sink ensemble \p SinkDims. Fatal error if
+/// the window volume is not uniform across neurons.
+ConnectionInfo analyzeConnection(const core::Connection &Conn,
+                                 const Shape &SinkDims);
+
+/// Result of probing a field-storage map: for each storage dimension, the
+/// sink dimension it selects (projection), or -1 when unknown.
+struct FieldMapInfo {
+  std::vector<int> DimSelectors;
+  bool IsProjection = false;
+};
+
+/// Probes a field map (null map = identity over all sink dims).
+FieldMapInfo analyzeFieldMap(const core::FieldStorage &Storage,
+                             const Shape &SinkDims);
+
+} // namespace compiler
+} // namespace latte
+
+#endif // LATTE_COMPILER_ANALYSIS_H

@@ -1,0 +1,895 @@
+//===- compiler/codegen_cpp.cpp -------------------------------*- C++ -*-===//
+
+#include "compiler/codegen_cpp.h"
+
+#include "support/error.h"
+#include "support/string_utils.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+using namespace latte;
+using namespace latte::compiler;
+using namespace latte::ir;
+
+namespace {
+
+/// Emits C++ source for one Program.
+class CppEmitter {
+public:
+  explicit CppEmitter(const Program &Prog) : Prog(Prog) {}
+
+  std::string run();
+
+private:
+  void header();
+  void buffers();
+  void kernels();
+  void initFunction();
+  void passFunction(const char *Name, const Stmt *Root,
+                    bool ZeroOnForward);
+  void driver();
+
+  void emitStmt(const Stmt *S, int Indent);
+  std::string exprToC(const Expr *E) const;
+  std::string loadToC(const LoadExpr *L) const;
+  std::string flatIndex(const std::string &Buffer,
+                        const std::vector<ExprPtr> &Indices) const;
+  std::string bufPtr(const KernelBufArg &Arg) const;
+
+  void line(int Indent, const std::string &Text) {
+    for (int I = 0; I < Indent; ++I)
+      OS << "  ";
+    OS << Text << "\n";
+  }
+
+  const Program &Prog;
+  std::ostringstream OS;
+};
+
+std::string floatLit(double V) {
+  if (std::isinf(V))
+    return V < 0 ? "(-INFINITY)" : "INFINITY";
+  std::string Text = formatString("%.9g", V);
+  // Integral-looking output ("0", "42") needs a decimal point before the
+  // float suffix is legal C++.
+  if (Text.find('.') == std::string::npos &&
+      Text.find('e') == std::string::npos &&
+      Text.find('E') == std::string::npos)
+    Text += ".0";
+  return Text + "f";
+}
+
+std::string CppEmitter::flatIndex(const std::string &Buffer,
+                                  const std::vector<ExprPtr> &Indices) const {
+  const BufferInfo *B = Prog.findBuffer(Buffer);
+  assert(B && "load/store of unknown buffer");
+  assert(static_cast<int>(Indices.size()) == B->Dims.rank() &&
+         "index rank mismatch in codegen");
+  std::string Out = "0";
+  for (size_t I = 0; I < Indices.size(); ++I)
+    Out = "(" + Out + ") * " + std::to_string(B->Dims[static_cast<int>(I)]) +
+          " + (" + exprToC(Indices[I].get()) + ")";
+  return Out;
+}
+
+std::string CppEmitter::loadToC(const LoadExpr *L) const {
+  return L->buffer() + "[" + flatIndex(L->buffer(), L->indices()) + "]";
+}
+
+std::string CppEmitter::exprToC(const Expr *E) const {
+  switch (E->kind()) {
+  case Expr::Kind::IntConst:
+    return std::to_string(cast<IntConstExpr>(E)->value());
+  case Expr::Kind::FloatConst:
+    return floatLit(cast<FloatConstExpr>(E)->value());
+  case Expr::Kind::Var:
+    return cast<VarExpr>(E)->name();
+  case Expr::Kind::Load:
+    return loadToC(cast<LoadExpr>(E));
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    std::string L = exprToC(B->lhs()), R = exprToC(B->rhs());
+    switch (B->op()) {
+    case BinaryOpKind::Add:
+      return "(" + L + " + " + R + ")";
+    case BinaryOpKind::Sub:
+      return "(" + L + " - " + R + ")";
+    case BinaryOpKind::Mul:
+      return "(" + L + " * " + R + ")";
+    case BinaryOpKind::Div:
+      return "(" + L + " / " + R + ")";
+    case BinaryOpKind::Min:
+      return "latte_min(" + L + ", " + R + ")";
+    case BinaryOpKind::Max:
+      return "latte_max(" + L + ", " + R + ")";
+    }
+    latteUnreachable("unknown binary op");
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    std::string V = exprToC(U->operand());
+    switch (U->op()) {
+    case UnaryOpKind::Neg:
+      return "(-" + V + ")";
+    case UnaryOpKind::Exp:
+      return "std::exp(" + V + ")";
+    case UnaryOpKind::Log:
+      return "std::log(" + V + ")";
+    case UnaryOpKind::Tanh:
+      return "std::tanh(" + V + ")";
+    case UnaryOpKind::Sigmoid:
+      return "(1.0f / (1.0f + std::exp(-(" + V + "))))";
+    case UnaryOpKind::Sqrt:
+      return "std::sqrt(" + V + ")";
+    case UnaryOpKind::Abs:
+      return "std::fabs(" + V + ")";
+    }
+    latteUnreachable("unknown unary op");
+  }
+  case Expr::Kind::Compare: {
+    const auto *C = cast<CompareExpr>(E);
+    static const char *Ops[] = {"<", "<=", ">", ">=", "==", "!="};
+    std::string Raw = "(" + exprToC(C->lhs()) + " " +
+                      Ops[static_cast<int>(C->op())] + " " +
+                      exprToC(C->rhs()) + ")";
+    return "(" + Raw + " ? 1.0f : 0.0f)";
+  }
+  case Expr::Kind::Select: {
+    const auto *S = cast<SelectExpr>(E);
+    std::string Cond;
+    if (const auto *C = dyn_cast<CompareExpr>(S->cond())) {
+      static const char *Ops[] = {"<", "<=", ">", ">=", "==", "!="};
+      Cond = "(" + exprToC(C->lhs()) + " " + Ops[static_cast<int>(C->op())] +
+             " " + exprToC(C->rhs()) + ")";
+    } else {
+      Cond = "((" + exprToC(S->cond()) + ") != 0.0f)";
+    }
+    return "(" + Cond + " ? " + exprToC(S->trueValue()) + " : " +
+           exprToC(S->falseValue()) + ")";
+  }
+  }
+  latteUnreachable("unknown expression kind");
+}
+
+std::string CppEmitter::bufPtr(const KernelBufArg &Arg) const {
+  std::string Off =
+      Arg.Offset ? " + (" + exprToC(Arg.Offset.get()) + ")" : "";
+  return Arg.Buffer + Off;
+}
+
+void CppEmitter::emitStmt(const Stmt *S, int Indent) {
+  switch (S->kind()) {
+  case Stmt::Kind::Block: {
+    const auto *B = cast<BlockStmt>(S);
+    if (!B->label().empty())
+      line(Indent, "// " + B->label());
+    for (const StmtPtr &Child : B->stmts())
+      emitStmt(Child.get(), Indent);
+    return;
+  }
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    // The paper's parallelization construct (§5.4.3).
+    const TiledLoopStmt *Collapsed = nullptr;
+    if (F->annotations().Parallel && F->annotations().Collapse == 2)
+      if (const auto *Body = dyn_cast<BlockStmt>(F->body()))
+        if (Body->stmts().size() == 1)
+          Collapsed = dyn_cast<TiledLoopStmt>(Body->stmts()[0].get());
+    if (F->annotations().Parallel) {
+      if (Collapsed)
+        line(Indent,
+             "#pragma omp parallel for collapse(2) schedule(static, 1)");
+      else
+        line(Indent, "#pragma omp parallel for schedule(static, 1)");
+    }
+    std::string Lo = exprToC(F->lo());
+    line(Indent, "for (int64_t " + F->var() + " = " + Lo + "; " + F->var() +
+                     " < " + Lo + " + " + std::to_string(F->extent()) +
+                     "; ++" + F->var() + ") {");
+    if (Collapsed) {
+      line(Indent + 1, "for (int64_t " + Collapsed->tileVar() +
+                           " = 0; " + Collapsed->tileVar() + " < " +
+                           std::to_string(Collapsed->numTiles()) + "; ++" +
+                           Collapsed->tileVar() + ") {");
+      emitStmt(Collapsed->body(), Indent + 2);
+      line(Indent + 1, "}");
+    } else {
+      emitStmt(F->body(), Indent + 1);
+    }
+    line(Indent, "}");
+    return;
+  }
+  case Stmt::Kind::TiledLoop: {
+    const auto *T = cast<TiledLoopStmt>(S);
+    line(Indent, "// tiled loop over " + T->origVar() + " (tile " +
+                     std::to_string(T->tileSize()) + ", dist " +
+                     std::to_string(T->dependenceDistance()) + ")");
+    line(Indent, "for (int64_t " + T->tileVar() + " = 0; " + T->tileVar() +
+                     " < " + std::to_string(T->numTiles()) + "; ++" +
+                     T->tileVar() + ") {");
+    emitStmt(T->body(), Indent + 1);
+    line(Indent, "}");
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    line(Indent, "if ((" + exprToC(If->cond()) + ") != 0.0f) {");
+    emitStmt(If->thenStmt(), Indent + 1);
+    if (If->elseStmt()) {
+      line(Indent, "} else {");
+      emitStmt(If->elseStmt(), Indent + 1);
+    }
+    line(Indent, "}");
+    return;
+  }
+  case Stmt::Kind::Store: {
+    const auto *St = cast<StoreStmt>(S);
+    std::string Target =
+        St->buffer() + "[" + flatIndex(St->buffer(), St->indices()) + "]";
+    std::string Value = exprToC(St->value());
+    switch (St->op()) {
+    case AccumKind::Assign:
+      line(Indent, Target + " = " + Value + ";");
+      return;
+    case AccumKind::AddAssign:
+      line(Indent, Target + " += " + Value + ";");
+      return;
+    case AccumKind::MulAssign:
+      line(Indent, Target + " *= " + Value + ";");
+      return;
+    case AccumKind::MaxAssign:
+      line(Indent, Target + " = latte_max(" + Target + ", " + Value + ");");
+      return;
+    case AccumKind::MinAssign:
+      line(Indent, Target + " = latte_min(" + Target + ", " + Value + ");");
+      return;
+    }
+    latteUnreachable("unknown accumulation kind");
+  }
+  case Stmt::Kind::Decl: {
+    const auto *D = cast<DeclStmt>(S);
+    line(Indent, "float " + D->name() + " = " + exprToC(D->init()) + ";");
+    return;
+  }
+  case Stmt::Kind::AssignVar: {
+    const auto *A = cast<AssignVarStmt>(S);
+    std::string Value = exprToC(A->value());
+    switch (A->op()) {
+    case AccumKind::Assign:
+      line(Indent, A->name() + " = " + Value + ";");
+      return;
+    case AccumKind::AddAssign:
+      line(Indent, A->name() + " += " + Value + ";");
+      return;
+    case AccumKind::MulAssign:
+      line(Indent, A->name() + " *= " + Value + ";");
+      return;
+    case AccumKind::MaxAssign:
+      line(Indent,
+           A->name() + " = latte_max(" + A->name() + ", " + Value + ");");
+      return;
+    case AccumKind::MinAssign:
+      line(Indent,
+           A->name() + " = latte_min(" + A->name() + ", " + Value + ");");
+      return;
+    }
+    latteUnreachable("unknown accumulation kind");
+  }
+  case Stmt::Kind::KernelCall: {
+    const auto *K = cast<KernelCallStmt>(S);
+    const auto &IA = K->intArgs();
+    auto Ints = [&](size_t From) {
+      std::vector<std::string> Parts;
+      for (size_t I = From; I < IA.size(); ++I)
+        Parts.push_back(std::to_string(IA[I]));
+      return join(Parts, ", ");
+    };
+    auto EArg = [&](size_t I) { return exprToC(K->exprArgs()[I].get()); };
+    switch (K->kernel()) {
+    case KernelKind::Zero:
+      line(Indent, "k_zero(" + bufPtr(K->bufs()[0]) + ", " + Ints(0) + ");");
+      return;
+    case KernelKind::Copy:
+      line(Indent, "k_copy(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + Ints(0) + ");");
+      return;
+    case KernelKind::AddTo:
+      line(Indent, "k_add_to(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + Ints(0) + ");");
+      return;
+    case KernelKind::MulInto:
+      line(Indent, "k_mul_into(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + bufPtr(K->bufs()[2]) +
+                       ", " + Ints(0) + ");");
+      return;
+    case KernelKind::MulAddTo:
+      line(Indent, "k_mul_add_to(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + bufPtr(K->bufs()[2]) +
+                       ", " + Ints(0) + ");");
+      return;
+    case KernelKind::Scale:
+      line(Indent, "k_scale(" + bufPtr(K->bufs()[0]) + ", " +
+                       floatLit(K->floatArgs()[0]) + ", " + Ints(0) + ");");
+      return;
+    case KernelKind::Sgemm:
+      line(Indent, "k_gemm(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + bufPtr(K->bufs()[2]) +
+                       ", " + Ints(0) + ");");
+      return;
+    case KernelKind::Gather2D:
+      line(Indent, "k_gather2d(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + K->bufs()[2].Buffer +
+                       ", " + Ints(0) + ", " + EArg(0) + ");");
+      return;
+    case KernelKind::ScatterAdd2D:
+      line(Indent, "k_scatter2d(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + K->bufs()[2].Buffer +
+                       ", " + Ints(0) + ", " + EArg(0) + ");");
+      return;
+    case KernelKind::ActFwdCols:
+      line(Indent, "k_act_fwd(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + Ints(0) + ", " +
+                       EArg(0) + ");");
+      return;
+    case KernelKind::ActBwdCols:
+      line(Indent, "k_act_bwd(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + bufPtr(K->bufs()[2]) +
+                       ", " + Ints(0) + ", " + EArg(0) + ");");
+      return;
+    case KernelKind::BiasAddCols:
+      line(Indent, "k_bias_cols(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + Ints(0) + ", " +
+                       EArg(0) + ");");
+      return;
+    case KernelKind::BiasAddPerRow:
+      line(Indent, "k_bias_rows(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + Ints(0) + ");");
+      return;
+    case KernelKind::RowSumAdd:
+      line(Indent, "k_row_sum(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + Ints(0) + ");");
+      return;
+    case KernelKind::ColSumAdd:
+      line(Indent, "k_col_sum(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + Ints(0) + ");");
+      return;
+    case KernelKind::Im2ColRows:
+      line(Indent, "k_im2col(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + Ints(0) + ", " +
+                       EArg(0) + ");");
+      return;
+    case KernelKind::Col2ImRows:
+      line(Indent, "k_col2im(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + Ints(0) + ", " +
+                       EArg(0) + ");");
+      return;
+    case KernelKind::MaxPoolFwdRows:
+      line(Indent, "k_maxpool_fwd(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + K->bufs()[2].Buffer +
+                       ".data() + (" +
+                       (K->bufs()[2].Offset
+                            ? exprToC(K->bufs()[2].Offset.get())
+                            : std::string("0")) +
+                       "), " + Ints(0) + ", " + EArg(0) + ");");
+      return;
+    case KernelKind::MaxPoolBwdRows:
+      line(Indent, "k_maxpool_bwd(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + K->bufs()[2].Buffer +
+                       ".data() + (" +
+                       (K->bufs()[2].Offset
+                            ? exprToC(K->bufs()[2].Offset.get())
+                            : std::string("0")) +
+                       "), " + Ints(0) + ", " + EArg(0) + ");");
+      return;
+    case KernelKind::AvgPoolFwdRows:
+      line(Indent, "k_avgpool_fwd(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + Ints(0) + ", " +
+                       EArg(0) + ");");
+      return;
+    case KernelKind::AvgPoolBwdRows:
+      line(Indent, "k_avgpool_bwd(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + Ints(0) + ", " +
+                       EArg(0) + ");");
+      return;
+    case KernelKind::SoftmaxFwd:
+      line(Indent, "k_softmax_fwd(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + Ints(0) + ");");
+      return;
+    case KernelKind::SoftmaxLossFwd:
+      line(Indent, "k_softmax_loss_fwd(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + bufPtr(K->bufs()[2]) +
+                       ", " + bufPtr(K->bufs()[3]) + ", " + Ints(0) + ");");
+      return;
+    case KernelKind::SoftmaxLossBwd:
+      line(Indent, "k_softmax_loss_bwd(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + bufPtr(K->bufs()[2]) +
+                       ", " + Ints(0) + ", " + floatLit(K->floatArgs()[0]) +
+                       ");");
+      return;
+    case KernelKind::SoftmaxBwd:
+      line(Indent, "k_softmax_bwd(" + bufPtr(K->bufs()[0]) + ", " +
+                       bufPtr(K->bufs()[1]) + ", " + bufPtr(K->bufs()[2]) +
+                       ", " + Ints(0) + ");");
+      return;
+    case KernelKind::DropoutMask:
+      line(Indent, "k_dropout_mask(" + bufPtr(K->bufs()[0]) + ", " +
+                       Ints(0) + ", " + floatLit(K->floatArgs()[0]) + ");");
+      return;
+    case KernelKind::GradSyncHook:
+      line(Indent, "/* grad sync hook: " + K->bufs()[0].Buffer + " */");
+      return;
+    }
+    latteUnreachable("unknown kernel kind");
+  }
+  case Stmt::Kind::Barrier:
+    line(Indent, "// fusion barrier: " + cast<BarrierStmt>(S)->reason());
+    return;
+  }
+  latteUnreachable("unknown statement kind");
+}
+
+void CppEmitter::header() {
+  OS << "// Generated by the Latte compiler (analysis -> synthesis ->\n"
+        "// optimization -> code generation, PLDI'16). Do not edit.\n"
+        "#include <cmath>\n#include <cstdint>\n#include <cstdio>\n"
+        "#include <cstdlib>\n#include <cstring>\n#include <string>\n"
+        "#include <vector>\n\n"
+        "template <typename T> static inline T latte_min(T A, T B) "
+        "{ return A < B ? A : B; }\n"
+        "template <typename T> static inline T latte_max(T A, T B) "
+        "{ return A > B ? A : B; }\n\n";
+  OS << "static const int64_t kBatch = " << Prog.BatchSize << ";\n\n";
+}
+
+void CppEmitter::buffers() {
+  OS << "// --- buffers (aliases share storage per shared-variable "
+        "analysis) ---\n";
+  for (const BufferInfo &B : Prog.Buffers) {
+    if (B.AliasOf.empty())
+      OS << "static std::vector<float> st_" << B.Name << "; ";
+    OS << "static float *" << B.Name << " = nullptr; // "
+       << B.Dims.str() << (B.AliasOf.empty() ? "" : " alias of " + B.AliasOf)
+       << "\n";
+  }
+  OS << "\n// --- index tables and masks ---\n";
+  for (const IntBufferInfo &T : Prog.IntBuffers) {
+    if (T.isStatic()) {
+      OS << "static const int32_t " << T.Name << "[] = {";
+      for (size_t I = 0; I < T.Entries.size(); ++I) {
+        if (I % 16 == 0)
+          OS << "\n  ";
+        OS << T.Entries[I] << ",";
+      }
+      OS << "\n};\n";
+    } else {
+      OS << "static std::vector<int32_t> " << T.Name << "(" << T.Count
+         << ");\n";
+    }
+  }
+  OS << "\n";
+}
+
+void CppEmitter::kernels() {
+  // Self-contained library kernels; inner loops carry omp simd so the host
+  // compiler vectorizes them (the paper's vectorization guarantee, §5.5).
+  OS << R"(// --- library kernels ---
+static void k_zero(float *D, int64_t N) { std::memset(D, 0, N * 4); }
+static void k_copy(float *D, const float *S, int64_t N) {
+  std::memcpy(D, S, N * 4);
+}
+static void k_add_to(float *D, const float *S, int64_t N) {
+#pragma omp simd
+  for (int64_t I = 0; I < N; ++I) D[I] += S[I];
+}
+static void k_mul_into(float *D, const float *A, const float *B, int64_t N) {
+#pragma omp simd
+  for (int64_t I = 0; I < N; ++I) D[I] = A[I] * B[I];
+}
+static void k_mul_add_to(float *D, const float *A, const float *B,
+                         int64_t N) {
+#pragma omp simd
+  for (int64_t I = 0; I < N; ++I) D[I] += A[I] * B[I];
+}
+static void k_scale(float *D, float F, int64_t N) {
+#pragma omp simd
+  for (int64_t I = 0; I < N; ++I) D[I] *= F;
+}
+static void k_gemm(const float *A, const float *B, float *C, int64_t M,
+                   int64_t N, int64_t K, int64_t LdA, int64_t LdB,
+                   int64_t LdC, int64_t TA, int64_t TB, int64_t Acc) {
+  for (int64_t I = 0; I < M; ++I) {
+    float *Row = C + I * LdC;
+    if (!Acc)
+      for (int64_t J = 0; J < N; ++J) Row[J] = 0.0f;
+    for (int64_t P = 0; P < K; ++P) {
+      float AV = TA ? A[P * LdA + I] : A[I * LdA + P];
+      if (TB) {
+        for (int64_t J = 0; J < N; ++J) Row[J] += AV * B[J * LdB + P];
+      } else {
+        const float *BR = B + P * LdB;
+#pragma omp simd
+        for (int64_t J = 0; J < N; ++J) Row[J] += AV * BR[J];
+      }
+    }
+  }
+}
+static void k_gather2d(float *D, const float *S, const int32_t *T,
+                       int64_t Rows, int64_t Cols, int64_t Cnt, int64_t Cb) {
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t J = 0; J < Cnt; ++J) {
+      int32_t Idx = T[R * Cols + Cb + J];
+      D[R * Cols + Cb + J] = Idx >= 0 ? S[Idx] : 0.0f;
+    }
+}
+static void k_scatter2d(float *D, const float *S, const int32_t *T,
+                        int64_t Rows, int64_t Cols, int64_t Cnt,
+                        int64_t Cb) {
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t J = 0; J < Cnt; ++J) {
+      int32_t Idx = T[R * Cols + Cb + J];
+      if (Idx >= 0) D[Idx] += S[R * Cols + Cb + J];
+    }
+}
+static void k_act_fwd(float *D, const float *S, int64_t Op, int64_t Rows,
+                      int64_t Cols, int64_t Cnt, int64_t Cb) {
+  for (int64_t R = 0; R < Rows; ++R) {
+    float *Dr = D + R * Cols + Cb;
+    const float *Sr = S + R * Cols + Cb;
+    if (Op == 0) {
+#pragma omp simd
+      for (int64_t I = 0; I < Cnt; ++I) Dr[I] = Sr[I] > 0 ? Sr[I] : 0.0f;
+    } else if (Op == 1) {
+      for (int64_t I = 0; I < Cnt; ++I)
+        Dr[I] = 1.0f / (1.0f + std::exp(-Sr[I]));
+    } else {
+      for (int64_t I = 0; I < Cnt; ++I) Dr[I] = std::tanh(Sr[I]);
+    }
+  }
+}
+static void k_act_bwd(float *Dg, const float *Og, const float *V,
+                      int64_t Op, int64_t Rows, int64_t Cols, int64_t Cnt,
+                      int64_t InPlace, int64_t Cb) {
+  (void)InPlace;
+  for (int64_t R = 0; R < Rows; ++R) {
+    int64_t Base = R * Cols + Cb;
+    for (int64_t I = 0; I < Cnt; ++I) {
+      float D;
+      if (Op == 0)
+        D = V[Base + I] > 0 ? Og[Base + I] : 0.0f;
+      else if (Op == 1)
+        D = Og[Base + I] * V[Base + I] * (1.0f - V[Base + I]);
+      else
+        D = Og[Base + I] * (1.0f - V[Base + I] * V[Base + I]);
+      Dg[Base + I] += D;
+    }
+  }
+}
+static void k_bias_cols(float *D, const float *Bias, int64_t Rows,
+                        int64_t Cols, int64_t Cnt, int64_t Cb) {
+  for (int64_t R = 0; R < Rows; ++R) {
+#pragma omp simd
+    for (int64_t I = 0; I < Cnt; ++I) D[R * Cols + Cb + I] += Bias[R];
+  }
+}
+static void k_bias_rows(float *D, const float *Bias, int64_t Rows,
+                        int64_t Cols) {
+  for (int64_t R = 0; R < Rows; ++R)
+#pragma omp simd
+    for (int64_t I = 0; I < Cols; ++I) D[R * Cols + I] += Bias[I];
+}
+static void k_row_sum(float *D, const float *S, int64_t Rows, int64_t Cols) {
+  for (int64_t R = 0; R < Rows; ++R) {
+    float Sum = 0;
+    for (int64_t I = 0; I < Cols; ++I) Sum += S[R * Cols + I];
+    D[R] += Sum;
+  }
+}
+static void k_col_sum(float *D, const float *S, int64_t Rows, int64_t Cols) {
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t I = 0; I < Cols; ++I) D[I] += S[R * Cols + I];
+}
+static void k_im2col(float *Col, const float *In, int64_t C, int64_t H,
+                     int64_t W, int64_t K, int64_t S, int64_t P, int64_t Rc,
+                     int64_t Rb) {
+  int64_t OutH = (H + 2 * P - K) / S + 1, OutW = (W + 2 * P - K) / S + 1;
+  int64_t Row = 0;
+  for (int64_t Ch = 0; Ch < C; ++Ch)
+    for (int64_t KY = 0; KY < K; ++KY)
+      for (int64_t KX = 0; KX < K; ++KX, ++Row) {
+        float *CR = Col + Row * OutH * OutW;
+        const float *Chan = In + Ch * H * W;
+        for (int64_t Y = Rb; Y < Rb + Rc; ++Y) {
+          int64_t IY = Y * S - P + KY;
+          for (int64_t X = 0; X < OutW; ++X) {
+            int64_t IX = X * S - P + KX;
+            CR[Y * OutW + X] = (IY >= 0 && IY < H && IX >= 0 && IX < W)
+                                   ? Chan[IY * W + IX] : 0.0f;
+          }
+        }
+      }
+}
+static void k_col2im(float *Im, const float *Col, int64_t C, int64_t H,
+                     int64_t W, int64_t K, int64_t S, int64_t P, int64_t Rc,
+                     int64_t Rb) {
+  int64_t OutH = (H + 2 * P - K) / S + 1, OutW = (W + 2 * P - K) / S + 1;
+  int64_t Row = 0;
+  for (int64_t Ch = 0; Ch < C; ++Ch)
+    for (int64_t KY = 0; KY < K; ++KY)
+      for (int64_t KX = 0; KX < K; ++KX, ++Row) {
+        const float *CR = Col + Row * OutH * OutW;
+        float *Chan = Im + Ch * H * W;
+        for (int64_t Y = Rb; Y < Rb + Rc; ++Y) {
+          int64_t IY = Y * S - P + KY;
+          if (IY < 0 || IY >= H) continue;
+          for (int64_t X = 0; X < OutW; ++X) {
+            int64_t IX = X * S - P + KX;
+            if (IX >= 0 && IX < W) Chan[IY * W + IX] += CR[Y * OutW + X];
+          }
+        }
+      }
+}
+static void k_maxpool_fwd(float *Out, const float *In, int32_t *Mask,
+                          int64_t C, int64_t H, int64_t W, int64_t K,
+                          int64_t S, int64_t P, int64_t Rc, int64_t Rb) {
+  int64_t OutH = (H + 2 * P - K) / S + 1, OutW = (W + 2 * P - K) / S + 1;
+  for (int64_t Ch = 0; Ch < C; ++Ch)
+    for (int64_t Y = Rb; Y < Rb + Rc; ++Y)
+      for (int64_t X = 0; X < OutW; ++X) {
+        float Max = -INFINITY;
+        int64_t Arg = -1;
+        for (int64_t KY = 0; KY < K; ++KY)
+          for (int64_t KX = 0; KX < K; ++KX) {
+            int64_t IY = Y * S - P + KY, IX = X * S - P + KX;
+            if (IY < 0 || IY >= H || IX < 0 || IX >= W) continue;
+            float V = In[(Ch * H + IY) * W + IX];
+            if (V > Max) { Max = V; Arg = (Ch * H + IY) * W + IX; }
+          }
+        Out[(Ch * OutH + Y) * OutW + X] = Max;
+        Mask[(Ch * OutH + Y) * OutW + X] = (int32_t)Arg;
+      }
+}
+static void k_maxpool_bwd(float *InG, const float *OutG,
+                          const int32_t *Mask, int64_t C, int64_t H,
+                          int64_t W, int64_t K, int64_t S, int64_t P,
+                          int64_t Rc, int64_t Rb) {
+  int64_t OutH = (H + 2 * P - K) / S + 1, OutW = (W + 2 * P - K) / S + 1;
+  for (int64_t Ch = 0; Ch < C; ++Ch)
+    for (int64_t Y = Rb; Y < Rb + Rc; ++Y)
+      for (int64_t X = 0; X < OutW; ++X) {
+        int64_t O = (Ch * OutH + Y) * OutW + X;
+        if (Mask[O] >= 0) InG[Mask[O]] += OutG[O];
+      }
+}
+static void k_avgpool_fwd(float *Out, const float *In, int64_t C, int64_t H,
+                          int64_t W, int64_t K, int64_t S, int64_t P,
+                          int64_t Rc, int64_t Rb) {
+  int64_t OutH = (H + 2 * P - K) / S + 1, OutW = (W + 2 * P - K) / S + 1;
+  float Inv = 1.0f / (K * K);
+  for (int64_t Ch = 0; Ch < C; ++Ch)
+    for (int64_t Y = Rb; Y < Rb + Rc; ++Y)
+      for (int64_t X = 0; X < OutW; ++X) {
+        float Sum = 0;
+        for (int64_t KY = 0; KY < K; ++KY)
+          for (int64_t KX = 0; KX < K; ++KX) {
+            int64_t IY = Y * S - P + KY, IX = X * S - P + KX;
+            if (IY >= 0 && IY < H && IX >= 0 && IX < W)
+              Sum += In[(Ch * H + IY) * W + IX];
+          }
+        Out[(Ch * OutH + Y) * OutW + X] = Sum * Inv;
+      }
+}
+static void k_avgpool_bwd(float *InG, const float *OutG, int64_t C,
+                          int64_t H, int64_t W, int64_t K, int64_t S,
+                          int64_t P, int64_t Rc, int64_t Rb) {
+  int64_t OutH = (H + 2 * P - K) / S + 1, OutW = (W + 2 * P - K) / S + 1;
+  float Inv = 1.0f / (K * K);
+  for (int64_t Ch = 0; Ch < C; ++Ch)
+    for (int64_t Y = Rb; Y < Rb + Rc; ++Y)
+      for (int64_t X = 0; X < OutW; ++X) {
+        float G = OutG[(Ch * OutH + Y) * OutW + X] * Inv;
+        for (int64_t KY = 0; KY < K; ++KY)
+          for (int64_t KX = 0; KX < K; ++KX) {
+            int64_t IY = Y * S - P + KY, IX = X * S - P + KX;
+            if (IY >= 0 && IY < H && IX >= 0 && IX < W)
+              InG[(Ch * H + IY) * W + IX] += G;
+          }
+      }
+}
+static void k_softmax_row(float *D, const float *S, int64_t C) {
+  float Max = S[0];
+  for (int64_t I = 1; I < C; ++I) Max = latte_max(Max, S[I]);
+  float Sum = 0;
+  for (int64_t I = 0; I < C; ++I) { D[I] = std::exp(S[I] - Max); Sum += D[I]; }
+  for (int64_t I = 0; I < C; ++I) D[I] /= Sum;
+}
+static void k_softmax_fwd(float *D, const float *S, int64_t Rows,
+                          int64_t C) {
+  for (int64_t R = 0; R < Rows; ++R) k_softmax_row(D + R * C, S + R * C, C);
+}
+static void k_softmax_loss_fwd(float *Prob, const float *S,
+                               const float *Lab, float *Loss, int64_t Rows,
+                               int64_t C) {
+  for (int64_t R = 0; R < Rows; ++R) {
+    k_softmax_row(Prob + R * C, S + R * C, C);
+    float P = Prob[R * C + (int64_t)Lab[R]];
+    Loss[R] = -std::log(P < 1e-20f ? 1e-20f : P);
+  }
+}
+static void k_softmax_loss_bwd(float *G, const float *Prob,
+                               const float *Lab, int64_t Rows, int64_t C,
+                               float Scale) {
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t I = 0; I < C; ++I)
+      G[R * C + I] += (Prob[R * C + I] -
+                       (I == (int64_t)Lab[R] ? 1.0f : 0.0f)) * Scale;
+}
+static void k_softmax_bwd(float *Gin, const float *Og, const float *P,
+                          int64_t Rows, int64_t C) {
+  for (int64_t R = 0; R < Rows; ++R) {
+    float Dot = 0;
+    for (int64_t I = 0; I < C; ++I) Dot += Og[R * C + I] * P[R * C + I];
+    for (int64_t I = 0; I < C; ++I)
+      Gin[R * C + I] += P[R * C + I] * (Og[R * C + I] - Dot);
+  }
+}
+static uint64_t g_rng_state = 0x1a77e;
+static void k_dropout_mask(float *Mask, int64_t N, float Keep) {
+  for (int64_t I = 0; I < N; ++I) {
+    g_rng_state += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = g_rng_state;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    Z ^= Z >> 31;
+    double U = (double)(Z >> 11) / 9007199254740992.0;
+    Mask[I] = U < Keep ? 1.0f / Keep : 0.0f;
+  }
+}
+
+)";
+}
+
+void CppEmitter::initFunction() {
+  OS << "static void latte_init() {\n";
+  for (const BufferInfo &B : Prog.Buffers)
+    if (B.AliasOf.empty())
+      OS << "  st_" << B.Name << ".assign(" << B.Dims.numElements()
+         << ", 0.0f);\n";
+  // Resolve alias chains to owning storage.
+  for (const BufferInfo &B : Prog.Buffers) {
+    const BufferInfo *Cur = &B;
+    while (!Cur->AliasOf.empty())
+      Cur = Prog.findBuffer(Cur->AliasOf);
+    OS << "  " << B.Name << " = st_" << Cur->Name << ".data();\n";
+  }
+  OS << "}\n\n";
+}
+
+void CppEmitter::passFunction(const char *Name, const Stmt *Root,
+                              bool ZeroOnForward) {
+  OS << "void " << Name << "() {\n";
+  for (const BufferInfo &B : Prog.Buffers) {
+    bool Zero = ZeroOnForward ? B.ZeroOnForward : B.ZeroOnBackward;
+    if (Zero)
+      OS << "  k_zero(" << B.Name << ", " << B.Dims.numElements() << ");\n";
+  }
+  if (Root)
+    emitStmt(Root, 1);
+  OS << "}\n\n";
+}
+
+void CppEmitter::driver() {
+  OS << "// --- .ltd file driver ---\n"
+        "struct NamedBuf { const char *Name; float *Data; int64_t N; };\n"
+        "static std::vector<NamedBuf> allBuffers() {\n"
+        "  return {\n";
+  for (const BufferInfo &B : Prog.Buffers)
+    OS << "    {\"" << B.Name << "\", " << B.Name << ", "
+       << B.Dims.numElements() << "},\n";
+  OS << "  };\n}\n";
+  OS << R"(
+static bool readLtd(const char *Path) {
+  FILE *F = std::fopen(Path, "rb");
+  if (!F) return false;
+  char Magic[4]; uint32_t Count = 0;
+  if (std::fread(Magic, 1, 4, F) != 4 || std::memcmp(Magic, "LTD1", 4) ||
+      std::fread(&Count, 4, 1, F) != 1) { std::fclose(F); return false; }
+  std::vector<NamedBuf> Bufs = allBuffers();
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint32_t NameLen = 0, Rank = 0;
+    if (std::fread(&NameLen, 4, 1, F) != 1) break;
+    std::string Name(NameLen, 0);
+    if (std::fread(Name.data(), 1, NameLen, F) != NameLen ||
+        std::fread(&Rank, 4, 1, F) != 1) break;
+    int64_t N = 1;
+    for (uint32_t D = 0; D < Rank; ++D) {
+      int64_t Dim = 0;
+      if (std::fread(&Dim, 8, 1, F) != 1) { std::fclose(F); return false; }
+      N *= Dim;
+    }
+    float *Target = nullptr;
+    for (NamedBuf &B : Bufs)
+      if (Name == B.Name && B.N == N) Target = B.Data;
+    if (Target) {
+      if (std::fread(Target, 4, N, F) != (size_t)N) break;
+    } else {
+      std::fseek(F, N * 4, SEEK_CUR);
+    }
+  }
+  std::fclose(F);
+  return true;
+}
+static bool writeLtd(const char *Path) {
+  FILE *F = std::fopen(Path, "wb");
+  if (!F) return false;
+  std::vector<NamedBuf> Bufs = allBuffers();
+  uint32_t Count = (uint32_t)Bufs.size();
+  std::fwrite("LTD1", 1, 4, F);
+  std::fwrite(&Count, 4, 1, F);
+  for (NamedBuf &B : Bufs) {
+    uint32_t NameLen = (uint32_t)std::strlen(B.Name), Rank = 1;
+    std::fwrite(&NameLen, 4, 1, F);
+    std::fwrite(B.Name, 1, NameLen, F);
+    std::fwrite(&Rank, 4, 1, F);
+    int64_t N = B.N;
+    std::fwrite(&N, 8, 1, F);
+    std::fwrite(B.Data, 4, N, F);
+  }
+  std::fclose(F);
+  return true;
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3) {
+    std::fprintf(stderr, "usage: %s <in.ltd> <out.ltd> [fwd|fwdbwd]\n",
+                 Argv[0]);
+    return 2;
+  }
+  latte_init();
+  if (!readLtd(Argv[1])) {
+    std::fprintf(stderr, "cannot read %s\n", Argv[1]);
+    return 1;
+  }
+  latte_forward();
+  if (Argc < 4 || std::string(Argv[3]) == "fwdbwd")
+    latte_backward();
+  if (!writeLtd(Argv[2])) {
+    std::fprintf(stderr, "cannot write %s\n", Argv[2]);
+    return 1;
+  }
+  return 0;
+}
+)";
+}
+
+std::string CppEmitter::run() {
+  header();
+  buffers();
+  kernels();
+  initFunction();
+  OS << "void latte_forward();\nvoid latte_backward();\n\n";
+  passFunction("latte_forward", Prog.Forward.get(), /*ZeroOnForward=*/true);
+  passFunction("latte_backward", Prog.Backward.get(),
+               /*ZeroOnForward=*/false);
+  driver();
+  return OS.str();
+}
+
+} // namespace
+
+std::string compiler::generateCpp(const Program &Prog) {
+  CppEmitter E(Prog);
+  return E.run();
+}
+
+bool compiler::writeGeneratedProgram(const Program &Prog,
+                                     const std::string &Path) {
+  std::string Source = generateCpp(Prog);
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Source.data(), 1, Source.size(), F) == Source.size();
+  std::fclose(F);
+  return Ok;
+}

@@ -1,0 +1,16 @@
+//===- compiler/compiler.cpp ----------------------------------*- C++ -*-===//
+
+#include "compiler/compiler.h"
+
+#include "compiler/passes.h"
+#include "compiler/synthesis.h"
+
+using namespace latte;
+using namespace latte::compiler;
+
+Program compiler::compile(const core::Net &Net, const CompileOptions &Opts) {
+  Program Prog;
+  SynthesisResult Tasks = synthesize(Net, Opts, Prog);
+  assemblePrograms(std::move(Tasks), Opts, Prog);
+  return Prog;
+}

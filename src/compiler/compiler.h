@@ -1,0 +1,26 @@
+//===- compiler/compiler.h - The Latte compiler driver ---------*- C++ -*-===//
+///
+/// \file
+/// Entry point of the Latte compiler (§5): analysis -> synthesis ->
+/// optimization -> program assembly. The result is executed by
+/// engine::Executor or printed as standalone C++ by codegen_cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_COMPILER_COMPILER_H
+#define LATTE_COMPILER_COMPILER_H
+
+#include "compiler/program.h"
+#include "core/graph.h"
+
+namespace latte {
+namespace compiler {
+
+/// Compiles \p Net into an executable Program under \p Opts. Fatal error on
+/// unsupported constructs (non-recurrent cycles, unknown field references).
+Program compile(const core::Net &Net, const CompileOptions &Opts = {});
+
+} // namespace compiler
+} // namespace latte
+
+#endif // LATTE_COMPILER_COMPILER_H

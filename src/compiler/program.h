@@ -1,0 +1,148 @@
+//===- compiler/program.h - Compiled network programs ----------*- C++ -*-===//
+///
+/// \file
+/// The output of the Latte compiler: buffer declarations, precomputed
+/// gather/scatter index tables, and forward/backward IR programs. The
+/// execution engine allocates the buffers and runs the IR; the C++ code
+/// generator prints it as a standalone translation unit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_COMPILER_PROGRAM_H
+#define LATTE_COMPILER_PROGRAM_H
+
+#include "core/graph.h"
+#include "ir/stmt.h"
+#include "support/shape.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace latte {
+namespace compiler {
+
+enum class BufferRole {
+  Value,     ///< ensemble activations (batch-major)
+  Grad,      ///< ensemble gradients (∇)
+  Input,     ///< gathered input windows
+  GradInput, ///< gradients of gathered inputs (∇inputs)
+  Param,     ///< learnable parameter
+  ParamGrad, ///< gradient of a learnable parameter
+  Data,      ///< externally supplied (images, labels)
+  Scratch,   ///< loss vector, dropout masks, etc.
+};
+
+/// One float buffer of the compiled program. A buffer with a non-empty
+/// AliasOf shares storage with the named buffer (shared-variable analysis
+/// mapping several logical buffers onto one memory region, §5.2; in-place
+/// ActivationEnsembles, §3.2).
+struct BufferInfo {
+  std::string Name;
+  Shape Dims;
+  BufferRole Role = BufferRole::Scratch;
+  std::string AliasOf;
+
+  // Initialization for Param buffers.
+  core::FieldInitKind Init = core::FieldInitKind::Zero;
+  float InitValue = 0.0f;
+  int64_t FanIn = 0;
+
+  /// Grad/GradInput/ParamGrad buffers are zeroed at the top of backward.
+  bool ZeroOnBackward = false;
+  /// Accumulating forward bodies need their value zeroed at the top of
+  /// forward (only when the compute was not matched to an overwriting
+  /// kernel).
+  bool ZeroOnForward = false;
+};
+
+/// A static int32 table (gather/scatter indices) or a dynamic int32 buffer
+/// (pooling argmax masks: Entries empty, Count gives the size).
+struct IntBufferInfo {
+  std::string Name;
+  std::vector<int32_t> Entries; ///< static contents; empty for dynamic
+  int64_t Count = 0;            ///< allocation size for dynamic buffers
+  bool isStatic() const { return !Entries.empty(); }
+};
+
+/// Learnable-parameter binding consumed by solvers.
+struct ParamBinding {
+  std::string Param;
+  std::string Grad;
+  float LrMult = 1.0f;
+};
+
+/// What the compiler did — asserted on by tests and printed by the
+/// benchmark harnesses (which optimizations actually fired).
+struct CompileReport {
+  std::vector<std::string> MatchedGemmEnsembles;
+  std::vector<std::string> MatchedPoolEnsembles;
+  std::vector<std::string> MatchedActivationEnsembles;
+  std::vector<std::string> InterpretedEnsembles;
+  /// Names of ensembles fused into each forward fusion group (size >= 2).
+  std::vector<std::vector<std::string>> FusionGroups;
+  int NumTiledLoops = 0;
+  std::vector<std::string> Notes;
+
+  bool gemmMatched(const std::string &Ensemble) const {
+    for (const std::string &E : MatchedGemmEnsembles)
+      if (E == Ensemble)
+        return true;
+    return false;
+  }
+};
+
+/// A compiled network.
+struct Program {
+  int64_t BatchSize = 0;
+  std::vector<BufferInfo> Buffers;
+  std::vector<IntBufferInfo> IntBuffers;
+  ir::StmtPtr Forward;
+  ir::StmtPtr Backward;
+  std::vector<ParamBinding> Params;
+
+  // Well-known buffers (empty when the net has no such ensemble).
+  std::string DataBuffer;   ///< primary data ensemble's value
+  std::string LabelBuffer;  ///< label ensemble's value
+  std::string LossBuffer;   ///< per-item loss, shape {batch}
+  std::string ProbBuffer;   ///< softmax probabilities, {batch, classes}
+
+  CompileReport Report;
+
+  const BufferInfo *findBuffer(const std::string &Name) const {
+    for (const BufferInfo &B : Buffers)
+      if (B.Name == Name)
+        return &B;
+    return nullptr;
+  }
+  const IntBufferInfo *findIntBuffer(const std::string &Name) const {
+    for (const IntBufferInfo &B : IntBuffers)
+      if (B.Name == Name)
+        return &B;
+    return nullptr;
+  }
+};
+
+/// Optimization switches (each level of the Figure 13 ablation flips a
+/// subset).
+struct CompileOptions {
+  bool PatternMatchGemm = true; ///< MAC loop nests -> sgemm (§5.4.1)
+  bool PatternMatchKernels = true; ///< pooling / activation kernels
+  bool Tiling = true;              ///< loop tiling (§5.4.1)
+  bool Fusion = true;              ///< cross-layer fusion (§5.4.2)
+  bool Parallelize = true;         ///< batch x tile parallel loops (§5.4.3)
+  bool VectorKernels = true; ///< engine uses vectorized kernel variants
+  int64_t TileSize = 8;      ///< target tile extent along y
+  /// Cost-model threshold: layers whose spatial row extent is below this
+  /// are left untiled (the paper's §7.1.2 observation — tiling loses its
+  /// benefit once the data fits in cache, and splitting library-kernel
+  /// calls then only adds overhead).
+  int64_t MinRowsToTile = 32;
+  bool GradSyncHooks = false; ///< emit async-allreduce hooks after each
+                              ///< ensemble's backward (§5.3)
+};
+
+} // namespace compiler
+} // namespace latte
+
+#endif // LATTE_COMPILER_PROGRAM_H

@@ -1,0 +1,131 @@
+//===- core/graph.cpp -----------------------------------------*- C++ -*-===//
+
+#include "core/graph.h"
+
+#include "support/error.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace latte;
+using namespace latte::core;
+
+const NeuronType *Net::registerType(NeuronType Type) {
+  assert(!findType(Type.name()) && "neuron type name already registered");
+  Types.push_back(std::make_unique<NeuronType>(std::move(Type)));
+  return Types.back().get();
+}
+
+const NeuronType *Net::findType(const std::string &Name) const {
+  for (const auto &T : Types)
+    if (T->name() == Name)
+      return T.get();
+  return nullptr;
+}
+
+Ensemble *Net::addEnsemble(std::string Name, Shape Dims,
+                           const NeuronType *Type, EnsembleKind Kind) {
+  if (findEnsemble(Name))
+    reportFatalError("ensemble '" + Name + "' already exists in the net");
+  if (Kind == EnsembleKind::Standard && !Type)
+    reportFatalError("standard ensemble '" + Name + "' needs a neuron type");
+  Ensembles.push_back(
+      std::make_unique<Ensemble>(std::move(Name), std::move(Dims), Type,
+                                 Kind));
+  return Ensembles.back().get();
+}
+
+Ensemble *Net::findEnsemble(const std::string &Name) const {
+  for (const auto &E : Ensembles)
+    if (E->name() == Name)
+      return E.get();
+  return nullptr;
+}
+
+void Net::addConnections(Ensemble *Source, Ensemble *Sink, MappingFn Mapping,
+                         bool Recurrent) {
+  assert(Source && Sink && "connections require both endpoints");
+  assert(Mapping && "connections require a mapping function");
+  Connection C;
+  C.Source = Source;
+  C.Mapping = std::move(Mapping);
+  C.Recurrent = Recurrent;
+  Sink->inputs().push_back(std::move(C));
+}
+
+std::vector<Ensemble *> Net::topologicalOrder() const {
+  // Kahn's algorithm over non-recurrent edges, preserving insertion order
+  // among ready nodes for determinism.
+  std::unordered_map<const Ensemble *, int> PendingInputs;
+  for (const auto &E : Ensembles) {
+    int Count = 0;
+    for (const Connection &C : E->inputs())
+      if (!C.Recurrent)
+        ++Count;
+    PendingInputs[E.get()] = Count;
+  }
+
+  std::vector<Ensemble *> Order;
+  Order.reserve(Ensembles.size());
+  std::unordered_set<const Ensemble *> Emitted;
+  bool Progress = true;
+  while (Order.size() < Ensembles.size() && Progress) {
+    Progress = false;
+    for (const auto &E : Ensembles) {
+      if (Emitted.count(E.get()) || PendingInputs[E.get()] != 0)
+        continue;
+      Order.push_back(E.get());
+      Emitted.insert(E.get());
+      Progress = true;
+      // Release this ensemble's consumers.
+      for (const auto &Other : Ensembles)
+        for (const Connection &C : Other->inputs())
+          if (!C.Recurrent && C.Source == E.get())
+            --PendingInputs[Other.get()];
+    }
+  }
+  if (Order.size() != Ensembles.size())
+    reportFatalError("network contains a non-recurrent cycle; mark feedback "
+                     "connections recurrent");
+  return Order;
+}
+
+MappingFn core::fullyConnectedMapping(const Shape &SourceDims) {
+  std::vector<Range> Box;
+  Box.reserve(SourceDims.rank());
+  for (int I = 0; I < SourceDims.rank(); ++I)
+    Box.push_back({0, SourceDims[I]});
+  return [Box](const std::vector<int64_t> &) { return Box; };
+}
+
+MappingFn core::oneToOneMapping() {
+  return [](const std::vector<int64_t> &Sink) {
+    std::vector<Range> Box;
+    Box.reserve(Sink.size());
+    for (int64_t I : Sink)
+      Box.push_back({I, I + 1});
+    return Box;
+  };
+}
+
+MappingFn core::convWindowMapping(int64_t Channels, int64_t Kernel,
+                                  int64_t Stride, int64_t Pad) {
+  return [=](const std::vector<int64_t> &Sink) {
+    assert(Sink.size() == 3 && "conv sink index must be (c_out, y, x)");
+    int64_t InY = Sink[1] * Stride - Pad;
+    int64_t InX = Sink[2] * Stride - Pad;
+    return std::vector<Range>{
+        {0, Channels}, {InY, InY + Kernel}, {InX, InX + Kernel}};
+  };
+}
+
+MappingFn core::poolWindowMapping(int64_t Kernel, int64_t Stride,
+                                  int64_t Pad) {
+  return [=](const std::vector<int64_t> &Sink) {
+    assert(Sink.size() == 3 && "pool sink index must be (c, y, x)");
+    int64_t InY = Sink[1] * Stride - Pad;
+    int64_t InX = Sink[2] * Stride - Pad;
+    return std::vector<Range>{
+        {Sink[0], Sink[0] + 1}, {InY, InY + Kernel}, {InX, InX + Kernel}};
+  };
+}

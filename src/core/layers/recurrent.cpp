@@ -1,0 +1,133 @@
+//===- core/layers/recurrent.cpp ------------------------------*- C++ -*-===//
+
+#include "core/layers/recurrent.h"
+
+#include "support/error.h"
+
+using namespace latte;
+using namespace latte::core;
+using namespace latte::layers;
+
+namespace {
+
+/// Gate projection from \p Input, tied to timestep 0's parameters.
+Ensemble *sharedFc(Net &Net, const std::string &Base, int T,
+                   Ensemble *Input, int64_t NumOutputs) {
+  std::string Name = Base + "_t" + std::to_string(T);
+  if (T == 0)
+    return FullyConnectedLayer(Net, Name, Input, NumOutputs);
+  return FullyConnectedLayerShared(Net, Name, Input, NumOutputs,
+                                   Base + "_t0");
+}
+
+void checkInputs(const std::vector<Ensemble *> &Inputs) {
+  if (Inputs.empty())
+    reportFatalError("recurrent block needs at least one timestep");
+  for (Ensemble *E : Inputs)
+    if (!E || E->dims() != Inputs[0]->dims())
+      reportFatalError("recurrent inputs must be same-shaped ensembles");
+}
+
+} // namespace
+
+RecurrentOutputs layers::LstmLayer(Net &Net, const std::string &Name,
+                                   const std::vector<Ensemble *> &Inputs,
+                                   int64_t NumOutputs) {
+  checkInputs(Inputs);
+  const int T = static_cast<int>(Inputs.size());
+
+  // Zero-valued initial hidden/cell state (data ensembles never written).
+  Ensemble *HPrev = DataLayer(Net, Name + "_h0", Shape{NumOutputs});
+  Ensemble *CPrev = DataLayer(Net, Name + "_c0", Shape{NumOutputs});
+
+  RecurrentOutputs Out;
+  for (int S = 0; S < T; ++S) {
+    std::string Ts = "_t" + std::to_string(S);
+    Ensemble *X = Inputs[S];
+
+    // Gate pre-activations: shared input and recurrent projections
+    // (Figure 6 splits the input and the previous output into 4 signals).
+    Ensemble *Ix = sharedFc(Net, Name + "_ix", S, X, NumOutputs);
+    Ensemble *Fx = sharedFc(Net, Name + "_fx", S, X, NumOutputs);
+    Ensemble *Ox = sharedFc(Net, Name + "_ox", S, X, NumOutputs);
+    Ensemble *Gx = sharedFc(Net, Name + "_gx", S, X, NumOutputs);
+    Ensemble *Ih = sharedFc(Net, Name + "_ih", S, HPrev, NumOutputs);
+    Ensemble *Fh = sharedFc(Net, Name + "_fh", S, HPrev, NumOutputs);
+    Ensemble *Oh = sharedFc(Net, Name + "_oh", S, HPrev, NumOutputs);
+    Ensemble *Gh = sharedFc(Net, Name + "_gh", S, HPrev, NumOutputs);
+
+    // i = σ(ix + ih), f = σ(fx + fh), o = σ(ox + oh), g = tanh(gx + gh).
+    Ensemble *I =
+        SigmoidLayer(Net, Name + "_i" + Ts, AddLayer(Net, Name + "_ipre" + Ts,
+                                                     {Ix, Ih}));
+    Ensemble *F =
+        SigmoidLayer(Net, Name + "_f" + Ts, AddLayer(Net, Name + "_fpre" + Ts,
+                                                     {Fx, Fh}));
+    Ensemble *O =
+        SigmoidLayer(Net, Name + "_o" + Ts, AddLayer(Net, Name + "_opre" + Ts,
+                                                     {Ox, Oh}));
+    Ensemble *G =
+        TanhLayer(Net, Name + "_g" + Ts, AddLayer(Net, Name + "_gpre" + Ts,
+                                                  {Gx, Gh}));
+
+    // c_t = f * c_{t-1} + i * g.
+    Ensemble *FC = MulLayer(Net, Name + "_fc" + Ts, F, CPrev);
+    Ensemble *IG = MulLayer(Net, Name + "_ig" + Ts, I, G);
+    Ensemble *C = AddLayer(Net, Name + "_c" + Ts, {FC, IG});
+
+    // h_t = o * tanh(c_t); the cell state survives into the next timestep,
+    // so tanh runs out of place (copy=true in Figure 6).
+    Ensemble *CT =
+        TanhLayer(Net, Name + "_ct" + Ts, C, /*InPlace=*/false);
+    Ensemble *H = MulLayer(Net, Name + "_h" + Ts, O, CT);
+
+    Out.Hidden.push_back(H);
+    Out.Cell.push_back(C);
+    HPrev = H;
+    CPrev = C;
+  }
+  return Out;
+}
+
+RecurrentOutputs layers::GruLayer(Net &Net, const std::string &Name,
+                                  const std::vector<Ensemble *> &Inputs,
+                                  int64_t NumOutputs) {
+  checkInputs(Inputs);
+  const int T = static_cast<int>(Inputs.size());
+  Ensemble *HPrev = DataLayer(Net, Name + "_h0", Shape{NumOutputs});
+
+  RecurrentOutputs Out;
+  for (int S = 0; S < T; ++S) {
+    std::string Ts = "_t" + std::to_string(S);
+    Ensemble *X = Inputs[S];
+
+    // Update gate z and reset gate r.
+    Ensemble *Zx = sharedFc(Net, Name + "_zx", S, X, NumOutputs);
+    Ensemble *Zh = sharedFc(Net, Name + "_zh", S, HPrev, NumOutputs);
+    Ensemble *Z =
+        SigmoidLayer(Net, Name + "_z" + Ts, AddLayer(Net, Name + "_zpre" + Ts,
+                                                     {Zx, Zh}));
+    Ensemble *Rx = sharedFc(Net, Name + "_rx", S, X, NumOutputs);
+    Ensemble *Rh = sharedFc(Net, Name + "_rh", S, HPrev, NumOutputs);
+    Ensemble *R =
+        SigmoidLayer(Net, Name + "_r" + Ts, AddLayer(Net, Name + "_rpre" + Ts,
+                                                     {Rx, Rh}));
+
+    // Candidate state over the reset-gated history.
+    Ensemble *RH = MulLayer(Net, Name + "_rh_gate" + Ts, R, HPrev);
+    Ensemble *Nx = sharedFc(Net, Name + "_nx", S, X, NumOutputs);
+    Ensemble *Nh = sharedFc(Net, Name + "_nh", S, RH, NumOutputs);
+    Ensemble *Cand =
+        TanhLayer(Net, Name + "_n" + Ts, AddLayer(Net, Name + "_npre" + Ts,
+                                                  {Nx, Nh}));
+
+    // h_t = h_{t-1} + z * (cand - h_{t-1}).
+    Ensemble *Diff = SubLayer(Net, Name + "_diff" + Ts, Cand, HPrev);
+    Ensemble *ZD = MulLayer(Net, Name + "_zd" + Ts, Z, Diff);
+    Ensemble *H = AddLayer(Net, Name + "_h" + Ts, {HPrev, ZD});
+
+    Out.Hidden.push_back(H);
+    HPrev = H;
+  }
+  return Out;
+}

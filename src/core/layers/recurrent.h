@@ -1,0 +1,52 @@
+//===- core/layers/recurrent.h - Unrolled recurrent blocks ----*- C++ -*-===//
+///
+/// \file
+/// LSTM and GRU blocks (paper §2.4, §4 Figure 6). The Julia implementation
+/// expressed recurrence with `recurrent=true` connections resolved by the
+/// runtime; this reproduction compiles feed-forward programs, so recurrent
+/// blocks are built by *unrolling over time*: one cell instance per
+/// timestep, with gate weights tied across timesteps through shared field
+/// storage (so the parameter count is timestep-independent and gradients
+/// accumulate over time — back-propagation through time falls out of the
+/// ordinary backward pass).
+///
+/// Cells are composed from the same primitives as Figure 6: shared
+/// FullyConnected layers for the gate projections and the σ / tanh / + / *
+/// ensembles of the standard library, including `copy=true` tanh on the
+/// cell state (which must survive into the next timestep).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_CORE_LAYERS_RECURRENT_H
+#define LATTE_CORE_LAYERS_RECURRENT_H
+
+#include "core/layers/layers.h"
+
+#include <vector>
+
+namespace latte {
+namespace layers {
+
+struct RecurrentOutputs {
+  /// Hidden state per timestep (h_t); the usual block output.
+  std::vector<core::Ensemble *> Hidden;
+  /// Cell state per timestep (LSTM only).
+  std::vector<core::Ensemble *> Cell;
+};
+
+/// Long Short-Term Memory block over per-timestep inputs. All timesteps
+/// share one set of gate parameters. \p Inputs must be same-shaped
+/// rank-1 ensembles (one per timestep).
+RecurrentOutputs LstmLayer(core::Net &Net, const std::string &Name,
+                           const std::vector<core::Ensemble *> &Inputs,
+                           int64_t NumOutputs);
+
+/// Gated Recurrent Unit block (update/reset gates, candidate state).
+RecurrentOutputs GruLayer(core::Net &Net, const std::string &Name,
+                          const std::vector<core::Ensemble *> &Inputs,
+                          int64_t NumOutputs);
+
+} // namespace layers
+} // namespace latte
+
+#endif // LATTE_CORE_LAYERS_RECURRENT_H

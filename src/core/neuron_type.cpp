@@ -1,0 +1,278 @@
+//===- core/neuron_type.cpp -----------------------------------*- C++ -*-===//
+
+#include "core/neuron_type.h"
+
+#include "ir/visitor.h"
+
+#include <limits>
+
+using namespace latte;
+using namespace latte::core;
+using namespace latte::ir;
+
+bool dsl::isFieldBuf(const std::string &Buffer, std::string &FieldName) {
+  const std::string Prefix = "@field:";
+  if (Buffer.compare(0, Prefix.size(), Prefix) != 0)
+    return false;
+  FieldName = Buffer.substr(Prefix.size());
+  return true;
+}
+
+static bool startsWithGradInput(const std::string &Buffer) {
+  return Buffer.rfind("@gradinput", 0) == 0;
+}
+
+static bool matchIndexedBuf(const std::string &Buffer,
+                            const std::string &Prefix, int &K) {
+  if (Buffer.compare(0, Prefix.size(), Prefix) != 0)
+    return false;
+  const std::string Suffix = Buffer.substr(Prefix.size());
+  if (Suffix.empty())
+    return false;
+  K = 0;
+  for (char C : Suffix) {
+    if (C < '0' || C > '9')
+      return false;
+    K = K * 10 + (C - '0');
+  }
+  return true;
+}
+
+bool dsl::isInputBuf(const std::string &Buffer, int &K) {
+  return !startsWithGradInput(Buffer) &&
+         matchIndexedBuf(Buffer, "@input", K);
+}
+
+bool dsl::isGradInputBuf(const std::string &Buffer, int &K) {
+  return matchIndexedBuf(Buffer, "@gradinput", K);
+}
+
+bool NeuronType::forwardAccumulates(const NeuronContext &Ctx) const {
+  StmtPtr Body = Forward(Ctx);
+  bool Accumulates = false;
+  walkStmts(Body.get(), [&](const Stmt *S) {
+    if (const auto *St = dyn_cast<StoreStmt>(S))
+      if (St->buffer() == dsl::valueBuf() && St->op() != AccumKind::Assign)
+        Accumulates = true;
+  });
+  return Accumulates;
+}
+
+NeuronType core::makeWeightedNeuronType() {
+  using namespace dsl;
+  std::vector<FieldSpec> Fields = {
+      {"weights", Shape{}, /*IsParam=*/true, /*HasGrad=*/true, 1.0f},
+      {"bias", Shape{1}, /*IsParam=*/true, /*HasGrad=*/true, 2.0f},
+  };
+  // The weights field is sized by the input window; synthesis resolves the
+  // empty shape of "weights" to {inputLength(0)} (see Ensemble field
+  // handling). The forward/backward bodies mirror Figure 3 of the paper.
+  NeuronBodyFn Fwd = [](const NeuronContext &Ctx) {
+    std::vector<StmtPtr> Stmts;
+    Stmts.push_back(forLoop(
+        "i", Ctx.inputLength(0),
+        accumValue(mul(field("weights", indexList(var("i"))),
+                       input(0, var("i"))))));
+    Stmts.push_back(accumValue(field("bias", indexList(intConst(0)))));
+    return block(std::move(Stmts));
+  };
+  NeuronBodyFn Bwd = [](const NeuronContext &Ctx) {
+    std::vector<StmtPtr> Stmts;
+    // Back-propagated gradient.
+    Stmts.push_back(
+        forLoop("i", Ctx.inputLength(0),
+                accumGradInput(0, var("i"),
+                               mul(field("weights", indexList(var("i"))),
+                                   grad()))));
+    // Weight gradient.
+    Stmts.push_back(
+        forLoop("i", Ctx.inputLength(0),
+                accumField("grad_weights", indexList(var("i")),
+                           mul(input(0, var("i")), grad()))));
+    // Bias gradient.
+    Stmts.push_back(
+        accumField("grad_bias", indexList(intConst(0)), grad()));
+    return block(std::move(Stmts));
+  };
+  return NeuronType("WeightedNeuron", std::move(Fields), std::move(Fwd),
+                    std::move(Bwd));
+}
+
+NeuronType core::makeMaxNeuronType() {
+  using namespace dsl;
+  NeuronBodyFn Fwd = [](const NeuronContext &Ctx) {
+    std::vector<StmtPtr> Stmts;
+    Stmts.push_back(
+        decl("maxval", floatConst(-std::numeric_limits<double>::infinity())));
+    Stmts.push_back(forLoop("i", Ctx.inputLength(0),
+                            assignVar("maxval", AccumKind::MaxAssign,
+                                      input(0, var("i")))));
+    Stmts.push_back(setValue(var("maxval")));
+    return block(std::move(Stmts));
+  };
+  NeuronBodyFn Bwd = [](const NeuronContext &Ctx) {
+    // Route the gradient to every input equal to the max (ties share).
+    return forLoop(
+        "i", Ctx.inputLength(0),
+        accumGradInput(0, var("i"),
+                       ir::select(compare(CompareOpKind::EQ,
+                                          input(0, var("i")), value()),
+                                  grad(), floatConst(0.0))));
+  };
+  return NeuronType("MaxNeuron", {}, std::move(Fwd), std::move(Bwd));
+}
+
+NeuronType core::makeAvgNeuronType() {
+  using namespace dsl;
+  NeuronBodyFn Fwd = [](const NeuronContext &Ctx) {
+    int64_t Len = Ctx.inputLength(0);
+    std::vector<StmtPtr> Stmts;
+    Stmts.push_back(forLoop("i", Len, accumValue(input(0, var("i")))));
+    Stmts.push_back(setValue(
+        mul(value(), floatConst(1.0 / static_cast<double>(Len)))));
+    return block(std::move(Stmts));
+  };
+  NeuronBodyFn Bwd = [](const NeuronContext &Ctx) {
+    int64_t Len = Ctx.inputLength(0);
+    return forLoop(
+        "i", Len,
+        accumGradInput(0, var("i"),
+                       mul(grad(),
+                           floatConst(1.0 / static_cast<double>(Len)))));
+  };
+  return NeuronType("AvgNeuron", {}, std::move(Fwd), std::move(Bwd));
+}
+
+NeuronType core::makeReluNeuronType() {
+  using namespace dsl;
+  NeuronBodyFn Fwd = [](const NeuronContext &) {
+    return setValue(ir::max(input(0, intConst(0)), floatConst(0.0)));
+  };
+  NeuronBodyFn Bwd = [](const NeuronContext &) {
+    return accumGradInput(
+        0, intConst(0),
+        ir::select(compare(CompareOpKind::GT, value(), floatConst(0.0)),
+                   grad(), floatConst(0.0)));
+  };
+  return NeuronType("ReluNeuron", {}, std::move(Fwd), std::move(Bwd));
+}
+
+NeuronType core::makeSigmoidNeuronType() {
+  using namespace dsl;
+  NeuronBodyFn Fwd = [](const NeuronContext &) {
+    return setValue(sigmoid(input(0, intConst(0))));
+  };
+  NeuronBodyFn Bwd = [](const NeuronContext &) {
+    // d sigmoid = value * (1 - value).
+    return accumGradInput(
+        0, intConst(0),
+        mul(grad(), mul(value(), sub(floatConst(1.0), value()))));
+  };
+  return NeuronType("SigmoidNeuron", {}, std::move(Fwd), std::move(Bwd));
+}
+
+NeuronType core::makeTanhNeuronType() {
+  using namespace dsl;
+  NeuronBodyFn Fwd = [](const NeuronContext &) {
+    return setValue(ir::tanh(input(0, intConst(0))));
+  };
+  NeuronBodyFn Bwd = [](const NeuronContext &) {
+    return accumGradInput(
+        0, intConst(0),
+        mul(grad(), sub(floatConst(1.0), mul(value(), value()))));
+  };
+  return NeuronType("TanhNeuron", {}, std::move(Fwd), std::move(Bwd));
+}
+
+NeuronType core::makeSumNeuronType() {
+  using namespace dsl;
+  NeuronBodyFn Fwd = [](const NeuronContext &Ctx) {
+    std::vector<StmtPtr> Stmts;
+    for (int K = 0; K < Ctx.numInputs(); ++K)
+      Stmts.push_back(forLoop("i", Ctx.inputLength(K),
+                              accumValue(input(K, var("i")))));
+    return block(std::move(Stmts));
+  };
+  NeuronBodyFn Bwd = [](const NeuronContext &Ctx) {
+    std::vector<StmtPtr> Stmts;
+    for (int K = 0; K < Ctx.numInputs(); ++K)
+      Stmts.push_back(
+          forLoop("i", Ctx.inputLength(K),
+                  accumGradInput(K, var("i"), grad())));
+    return block(std::move(Stmts));
+  };
+  return NeuronType("SumNeuron", {}, std::move(Fwd), std::move(Bwd));
+}
+
+NeuronType core::makeMulNeuronType() {
+  using namespace dsl;
+  NeuronBodyFn Fwd = [](const NeuronContext &Ctx) {
+    assert(Ctx.numInputs() >= 1 && "MulNeuron needs at least one input");
+    ExprPtr Product = input(0, intConst(0));
+    for (int K = 1; K < Ctx.numInputs(); ++K)
+      Product = mul(std::move(Product), input(K, intConst(0)));
+    return setValue(std::move(Product));
+  };
+  NeuronBodyFn Bwd = [](const NeuronContext &Ctx) {
+    std::vector<StmtPtr> Stmts;
+    for (int K = 0; K < Ctx.numInputs(); ++K) {
+      ExprPtr Others = grad();
+      for (int J = 0; J < Ctx.numInputs(); ++J)
+        if (J != K)
+          Others = mul(std::move(Others), input(J, intConst(0)));
+      Stmts.push_back(accumGradInput(K, intConst(0), std::move(Others)));
+    }
+    return block(std::move(Stmts));
+  };
+  return NeuronType("MulNeuron", {}, std::move(Fwd), std::move(Bwd));
+}
+
+NeuronType core::makeSubNeuronType() {
+  using namespace dsl;
+  NeuronBodyFn Fwd = [](const NeuronContext &Ctx) {
+    assert(Ctx.numInputs() == 2 && "SubNeuron needs exactly two inputs");
+    return setValue(sub(input(0, intConst(0)), input(1, intConst(0))));
+  };
+  NeuronBodyFn Bwd = [](const NeuronContext &) {
+    std::vector<StmtPtr> Stmts;
+    Stmts.push_back(accumGradInput(0, intConst(0), grad()));
+    Stmts.push_back(
+        accumGradInput(1, intConst(0), mul(grad(), floatConst(-1.0))));
+    return block(std::move(Stmts));
+  };
+  return NeuronType("SubNeuron", {}, std::move(Fwd), std::move(Bwd));
+}
+
+NeuronType core::makePReluNeuronType() {
+  using namespace dsl;
+  std::vector<FieldSpec> Fields = {
+      {"slope", Shape{1}, /*IsParam=*/true, /*HasGrad=*/true, 1.0f},
+  };
+  NeuronBodyFn Fwd = [](const NeuronContext &) {
+    ExprPtr In = input(0, intConst(0));
+    return setValue(ir::select(
+        compare(CompareOpKind::GT, input(0, intConst(0)), floatConst(0.0)),
+        std::move(In),
+        mul(field("slope", indexList(intConst(0))),
+            input(0, intConst(0)))));
+  };
+  NeuronBodyFn Bwd = [](const NeuronContext &) {
+    std::vector<StmtPtr> Stmts;
+    Stmts.push_back(accumGradInput(
+        0, intConst(0),
+        mul(grad(),
+            ir::select(compare(CompareOpKind::GT, input(0, intConst(0)),
+                               floatConst(0.0)),
+                       floatConst(1.0),
+                       field("slope", indexList(intConst(0)))))));
+    Stmts.push_back(accumField(
+        "grad_slope", indexList(intConst(0)),
+        mul(grad(),
+            ir::select(compare(CompareOpKind::GT, input(0, intConst(0)),
+                               floatConst(0.0)),
+                       floatConst(0.0), input(0, intConst(0))))));
+    return block(std::move(Stmts));
+  };
+  return NeuronType("PReluNeuron", std::move(Fields), std::move(Fwd),
+                    std::move(Bwd));
+}

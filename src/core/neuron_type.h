@@ -1,0 +1,187 @@
+//===- core/neuron_type.h - User-defined neuron types ----------*- C++ -*-===//
+///
+/// \file
+/// The C++ rendering of the paper's `@neuron` construct (§3.1, Figure 3).
+/// A NeuronType bundles per-neuron state fields with forward and backward
+/// functions. The functions are written against a small surface vocabulary
+/// of reserved buffers:
+///
+///   @value        the neuron's output activation (scalar)
+///   @grad         the gradient flowing into this neuron (scalar, ∇)
+///   @input<k>     flattened window of input activations of connection k
+///   @gradinput<k> gradient to propagate to connection k's sources (∇inputs)
+///   @field:<f>    a user-declared field (e.g. weights, bias)
+///
+/// Because the lengths of input windows depend on the connections an
+/// ensemble ends up with, forward/backward are *generators*: functions from
+/// a NeuronContext (window lengths, field shapes) to an IR statement. The
+/// synthesis phase instantiates them once per ensemble — this mirrors how
+/// the Julia implementation specializes the neuron function per ensemble.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_CORE_NEURON_TYPE_H
+#define LATTE_CORE_NEURON_TYPE_H
+
+#include "ir/builder.h"
+#include "support/shape.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace latte {
+namespace core {
+
+/// One per-neuron state field (paper: the extra fields of a Neuron
+/// sub-type).
+struct FieldSpec {
+  std::string Name;
+  Shape Dims;          ///< shape of the field per neuron ({} = scalar)
+  bool IsParam = false; ///< learnable parameter (solver updates it)
+  bool HasGrad = false; ///< a ∇-field is synthesized alongside it
+  float LrMult = 1.0f; ///< per-parameter learning-rate multiplier
+};
+
+/// Everything a neuron function generator may depend on.
+struct NeuronContext {
+  /// Flattened window length of each input connection.
+  std::vector<int64_t> InputLengths;
+
+  int64_t inputLength(int K) const {
+    assert(K >= 0 && K < static_cast<int>(InputLengths.size()) &&
+           "input connection index out of range");
+    return InputLengths[K];
+  }
+  int numInputs() const { return static_cast<int>(InputLengths.size()); }
+};
+
+using NeuronBodyFn = std::function<ir::StmtPtr(const NeuronContext &)>;
+
+/// A neuron type: fields plus forward/backward generators. Instances are
+/// owned by the Net and shared by ensembles.
+class NeuronType {
+public:
+  NeuronType(std::string Name, std::vector<FieldSpec> Fields,
+             NeuronBodyFn Forward, NeuronBodyFn Backward)
+      : Name(std::move(Name)), Fields(std::move(Fields)),
+        Forward(std::move(Forward)), Backward(std::move(Backward)) {}
+
+  const std::string &name() const { return Name; }
+  const std::vector<FieldSpec> &fields() const { return Fields; }
+
+  const FieldSpec *findField(const std::string &FieldName) const {
+    for (const FieldSpec &F : Fields)
+      if (F.Name == FieldName)
+        return &F;
+    return nullptr;
+  }
+
+  /// True when the forward function accumulates into @value (and therefore
+  /// the value buffer must be zeroed before each forward pass).
+  bool forwardAccumulates(const NeuronContext &Ctx) const;
+
+  ir::StmtPtr makeForward(const NeuronContext &Ctx) const {
+    return Forward(Ctx);
+  }
+  ir::StmtPtr makeBackward(const NeuronContext &Ctx) const {
+    return Backward ? Backward(Ctx) : nullptr;
+  }
+  bool hasBackward() const { return static_cast<bool>(Backward); }
+
+private:
+  std::string Name;
+  std::vector<FieldSpec> Fields;
+  NeuronBodyFn Forward;
+  NeuronBodyFn Backward;
+};
+
+/// Reserved buffer names used inside neuron functions.
+namespace dsl {
+
+inline std::string valueBuf() { return "@value"; }
+inline std::string gradBuf() { return "@grad"; }
+inline std::string inputBuf(int K) { return "@input" + std::to_string(K); }
+inline std::string gradInputBuf(int K) {
+  return "@gradinput" + std::to_string(K);
+}
+inline std::string fieldBuf(const std::string &Name) {
+  return "@field:" + Name;
+}
+
+/// True for @field:<name> references; extracts the field name.
+bool isFieldBuf(const std::string &Buffer, std::string &FieldName);
+/// True for @input<k> / @gradinput<k>; extracts k.
+bool isInputBuf(const std::string &Buffer, int &K);
+bool isGradInputBuf(const std::string &Buffer, int &K);
+
+// --- expression helpers -------------------------------------------------
+
+/// The neuron's output value.
+inline ir::ExprPtr value() { return ir::load(valueBuf(), {}); }
+/// The gradient arriving at the neuron (∇).
+inline ir::ExprPtr grad() { return ir::load(gradBuf(), {}); }
+/// Element \p I of the flattened input window of connection \p K.
+inline ir::ExprPtr input(int K, ir::ExprPtr I) {
+  return ir::load(inputBuf(K), ir::indexList(std::move(I)));
+}
+/// A field element.
+inline ir::ExprPtr field(const std::string &Name,
+                         std::vector<ir::ExprPtr> Indices = {}) {
+  return ir::load(fieldBuf(Name), std::move(Indices));
+}
+
+// --- statement helpers ---------------------------------------------------
+
+inline ir::StmtPtr setValue(ir::ExprPtr V) {
+  return ir::storeAssign(valueBuf(), {}, std::move(V));
+}
+inline ir::StmtPtr accumValue(ir::ExprPtr V) {
+  return ir::storeAdd(valueBuf(), {}, std::move(V));
+}
+inline ir::StmtPtr accumGradInput(int K, ir::ExprPtr I, ir::ExprPtr V) {
+  return ir::storeAdd(gradInputBuf(K), ir::indexList(std::move(I)),
+                      std::move(V));
+}
+inline ir::StmtPtr accumField(const std::string &Name,
+                              std::vector<ir::ExprPtr> Indices,
+                              ir::ExprPtr V) {
+  return ir::storeAdd(fieldBuf(Name), std::move(Indices), std::move(V));
+}
+inline ir::StmtPtr setField(const std::string &Name,
+                            std::vector<ir::ExprPtr> Indices, ir::ExprPtr V) {
+  return ir::storeAssign(fieldBuf(Name), std::move(Indices), std::move(V));
+}
+
+} // namespace dsl
+
+/// The built-in neuron types of the Latte standard library (§4).
+/// WeightedNeuron computes a dot product of inputs and weights plus bias
+/// (Figure 3); the returned object has fields weights[len], bias[1].
+NeuronType makeWeightedNeuronType();
+/// Max neuron: value = max over the input window (pooling layers).
+NeuronType makeMaxNeuronType();
+/// Average neuron: value = mean of the input window.
+NeuronType makeAvgNeuronType();
+/// ReLU neuron: value = max(input, 0); one-to-one connection expected.
+NeuronType makeReluNeuronType();
+/// Sigmoid / Tanh neurons (one-to-one).
+NeuronType makeSigmoidNeuronType();
+NeuronType makeTanhNeuronType();
+/// Sum neuron: value = sum of all inputs of every connection (used by
+/// elementwise-add ensembles, e.g. LSTM gate preactivations).
+NeuronType makeSumNeuronType();
+/// Product neuron: value = product over connections of their (single)
+/// input (elementwise multiply, LSTM gating).
+NeuronType makeMulNeuronType();
+/// Difference neuron: value = input0 - input1 (exactly two one-to-one
+/// connections; used by the GRU interpolation step).
+NeuronType makeSubNeuronType();
+/// PReLU neuron with a learnable slope parameter (He et al.), provided as
+/// the paper's example of a researcher-defined novel layer.
+NeuronType makePReluNeuronType();
+
+} // namespace core
+} // namespace latte
+
+#endif // LATTE_CORE_NEURON_TYPE_H

@@ -1,0 +1,775 @@
+//===- engine/executor.cpp ------------------------------------*- C++ -*-===//
+
+#include "engine/executor.h"
+
+#include "kernels/elementwise.h"
+#include "kernels/gemm.h"
+#include "kernels/pooling.h"
+#include "kernels/softmax.h"
+#include "support/error.h"
+
+#include <cmath>
+
+#ifdef LATTE_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+using namespace latte;
+using namespace latte::engine;
+using namespace latte::compiler;
+using namespace latte::ir;
+
+namespace {
+
+/// Small scoped environment: loop variables and float locals. Lookup is a
+/// linear scan — the vectors hold a handful of entries.
+struct EnvImpl {
+  std::vector<std::pair<std::string, int64_t>> IntVars;
+  std::vector<std::pair<std::string, float>> FloatVars;
+};
+
+} // namespace
+
+struct Executor::Env : EnvImpl {
+  bool AllowParallel = false;
+
+  int64_t lookupInt(const std::string &Name) const {
+    for (auto It = IntVars.rbegin(); It != IntVars.rend(); ++It)
+      if (It->first == Name)
+        return It->second;
+    reportFatalError("unbound loop variable '" + Name + "'");
+  }
+  float *lookupFloat(const std::string &Name) {
+    for (auto It = FloatVars.rbegin(); It != FloatVars.rend(); ++It)
+      if (It->first == Name)
+        return &It->second;
+    return nullptr;
+  }
+  const float *lookupFloat(const std::string &Name) const {
+    return const_cast<Env *>(this)->lookupFloat(Name);
+  }
+};
+
+Executor::Executor(Program TheProg, ExecOptions Opts)
+    : Prog(std::move(TheProg)), Opts(Opts),
+      DropoutRng(Opts.Seed ^ 0xd20b0a7) {
+  // Allocate owning storage first, then resolve alias chains.
+  Storage.reserve(Prog.Buffers.size());
+  std::unordered_map<std::string, size_t> OwnerIndex;
+  for (const BufferInfo &B : Prog.Buffers) {
+    if (!B.AliasOf.empty())
+      continue;
+    OwnerIndex[B.Name] = Storage.size();
+    Storage.emplace_back(B.Dims);
+  }
+  for (const BufferInfo &B : Prog.Buffers) {
+    BufferRT RT;
+    RT.Dims = B.Dims;
+    RT.Strides = B.Dims.strides();
+    RT.Count = B.Dims.numElements();
+    RT.ZeroOnForward = B.ZeroOnForward;
+    RT.ZeroOnBackward = B.ZeroOnBackward;
+    // Follow the alias chain to the owning buffer.
+    const BufferInfo *Cur = &B;
+    while (!Cur->AliasOf.empty()) {
+      const BufferInfo *Next = Prog.findBuffer(Cur->AliasOf);
+      if (!Next)
+        reportFatalError("buffer '" + Cur->Name + "' aliases unknown '" +
+                         Cur->AliasOf + "'");
+      Cur = Next;
+    }
+    if (Cur->Dims.numElements() != RT.Count)
+      reportFatalError("alias '" + B.Name + "' does not match the size of '" +
+                       Cur->Name + "'");
+    RT.Data = Storage[OwnerIndex.at(Cur->Name)].data();
+    Buffers[B.Name] = std::move(RT);
+  }
+  for (const IntBufferInfo &B : Prog.IntBuffers) {
+    if (B.isStatic())
+      IntBuffers[B.Name] = B.Entries;
+    else
+      IntBuffers[B.Name].assign(static_cast<size_t>(B.Count), 0);
+  }
+  initParams(Opts.Seed);
+}
+
+const Executor::BufferRT &Executor::buffer(const std::string &Name) const {
+  auto It = Buffers.find(Name);
+  if (It == Buffers.end())
+    reportFatalError("unknown buffer '" + Name + "'");
+  return It->second;
+}
+
+Executor::BufferRT &Executor::buffer(const std::string &Name) {
+  return const_cast<BufferRT &>(
+      static_cast<const Executor *>(this)->buffer(Name));
+}
+
+int32_t *Executor::intBuffer(const std::string &Name) {
+  auto It = IntBuffers.find(Name);
+  if (It == IntBuffers.end())
+    reportFatalError("unknown index buffer '" + Name + "'");
+  return It->second.data();
+}
+
+float *Executor::data(const std::string &Name) {
+  return buffer(Name).Data;
+}
+const float *Executor::data(const std::string &Name) const {
+  return buffer(Name).Data;
+}
+const Shape &Executor::shape(const std::string &Name) const {
+  return buffer(Name).Dims;
+}
+int64_t Executor::size(const std::string &Name) const {
+  return buffer(Name).Count;
+}
+
+void Executor::setInput(const Tensor &T) {
+  if (Prog.DataBuffer.empty())
+    reportFatalError("program has no data ensemble");
+  writeBuffer(Prog.DataBuffer, T);
+}
+
+void Executor::setLabels(const Tensor &T) {
+  if (Prog.LabelBuffer.empty())
+    reportFatalError("program has no label ensemble");
+  writeBuffer(Prog.LabelBuffer, T);
+}
+
+Tensor Executor::readBuffer(const std::string &Name) const {
+  const BufferRT &B = buffer(Name);
+  Tensor T(B.Dims);
+  kernels::copy(T.data(), B.Data, B.Count);
+  return T;
+}
+
+void Executor::writeBuffer(const std::string &Name, const Tensor &T) {
+  BufferRT &B = buffer(Name);
+  if (T.numElements() != B.Count)
+    reportFatalError("writeBuffer('" + Name + "'): element count mismatch");
+  kernels::copy(B.Data, T.data(), B.Count);
+}
+
+void Executor::initParams(uint64_t Seed) {
+  Rng R(Seed);
+  for (const BufferInfo &B : Prog.Buffers) {
+    if (B.Role != BufferRole::Param || !B.AliasOf.empty())
+      continue;
+    BufferRT &RT = buffer(B.Name);
+    Tensor View(B.Dims);
+    switch (B.Init) {
+    case core::FieldInitKind::Zero:
+      View.zero();
+      break;
+    case core::FieldInitKind::Constant:
+      View.fill(B.InitValue);
+      break;
+    case core::FieldInitKind::Xavier:
+      R.fillXavier(View, B.FanIn > 0 ? B.FanIn : B.Dims.numElements());
+      break;
+    case core::FieldInitKind::Gaussian:
+      R.fillGaussian(View, 0.0f, B.InitValue);
+      break;
+    }
+    kernels::copy(RT.Data, View.data(), RT.Count);
+  }
+}
+
+void Executor::forward() {
+  for (const BufferInfo &B : Prog.Buffers)
+    if (B.ZeroOnForward)
+      kernels::zero(buffer(B.Name).Data, buffer(B.Name).Count);
+  Env E;
+  E.AllowParallel = Opts.Parallel;
+  execStmt(Prog.Forward.get(), E);
+}
+
+void Executor::backward() {
+  for (const BufferInfo &B : Prog.Buffers)
+    if (B.ZeroOnBackward)
+      kernels::zero(buffer(B.Name).Data, buffer(B.Name).Count);
+  // Seed the loss gradient path: SoftmaxLossBwd reads probabilities
+  // directly, so nothing to do here beyond zeroing.
+  Env E;
+  // Parallel backward races on parameter gradients; only the lossy mode
+  // (§3.1) permits that. Synchronized mode executes the batch loop
+  // serially.
+  E.AllowParallel = Opts.Parallel && Opts.LossyGradients;
+  execStmt(Prog.Backward.get(), E);
+}
+
+double Executor::lossValue() const {
+  if (Prog.LossBuffer.empty())
+    return 0.0;
+  const BufferRT &B = buffer(Prog.LossBuffer);
+  double Sum = 0;
+  for (int64_t I = 0; I < B.Count; ++I)
+    Sum += B.Data[I];
+  return Sum / static_cast<double>(B.Count);
+}
+
+double Executor::accuracy() const {
+  if (Prog.ProbBuffer.empty() || Prog.LabelBuffer.empty())
+    return 0.0;
+  const BufferRT &P = buffer(Prog.ProbBuffer);
+  const BufferRT &L = buffer(Prog.LabelBuffer);
+  int64_t Rows = Prog.BatchSize;
+  int64_t Classes = P.Count / Rows;
+  int64_t Correct = 0;
+  for (int64_t R = 0; R < Rows; ++R) {
+    const float *Row = P.Data + R * Classes;
+    int64_t Best = 0;
+    for (int64_t C = 1; C < Classes; ++C)
+      if (Row[C] > Row[Best])
+        Best = C;
+    if (Best == static_cast<int64_t>(L.Data[R]))
+      ++Correct;
+  }
+  return static_cast<double>(Correct) / static_cast<double>(Rows);
+}
+
+//===----------------------------------------------------------------------===//
+// Interpretation
+//===----------------------------------------------------------------------===//
+
+int64_t Executor::evalInt(const Expr *Ex, Env &E) const {
+  switch (Ex->kind()) {
+  case Expr::Kind::IntConst:
+    return cast<IntConstExpr>(Ex)->value();
+  case Expr::Kind::Var:
+    return E.lookupInt(cast<VarExpr>(Ex)->name());
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(Ex);
+    int64_t L = evalInt(B->lhs(), E), R = evalInt(B->rhs(), E);
+    switch (B->op()) {
+    case BinaryOpKind::Add:
+      return L + R;
+    case BinaryOpKind::Sub:
+      return L - R;
+    case BinaryOpKind::Mul:
+      return L * R;
+    case BinaryOpKind::Div:
+      assert(R != 0 && "integer division by zero in index expression");
+      return L / R;
+    case BinaryOpKind::Min:
+      return std::min(L, R);
+    case BinaryOpKind::Max:
+      return std::max(L, R);
+    }
+    latteUnreachable("unknown binary op");
+  }
+  default:
+    reportFatalError("expression is not integer-evaluable");
+  }
+}
+
+float Executor::evalFloat(const Expr *Ex, Env &E) const {
+  switch (Ex->kind()) {
+  case Expr::Kind::IntConst:
+    return static_cast<float>(cast<IntConstExpr>(Ex)->value());
+  case Expr::Kind::FloatConst:
+    return static_cast<float>(cast<FloatConstExpr>(Ex)->value());
+  case Expr::Kind::Var: {
+    const std::string &Name = cast<VarExpr>(Ex)->name();
+    if (const float *F = E.lookupFloat(Name))
+      return *F;
+    return static_cast<float>(E.lookupInt(Name));
+  }
+  case Expr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(Ex);
+    const BufferRT &B = buffer(L->buffer());
+    assert(static_cast<int>(L->indices().size()) == B.Dims.rank() &&
+           "load index rank mismatch");
+    int64_t Off = 0;
+    for (size_t I = 0; I < L->indices().size(); ++I)
+      Off += evalInt(L->indices()[I].get(), E) * B.Strides[I];
+    assert(Off >= 0 && Off < B.Count && "load out of bounds");
+    return B.Data[Off];
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(Ex);
+    float L = evalFloat(B->lhs(), E), R = evalFloat(B->rhs(), E);
+    switch (B->op()) {
+    case BinaryOpKind::Add:
+      return L + R;
+    case BinaryOpKind::Sub:
+      return L - R;
+    case BinaryOpKind::Mul:
+      return L * R;
+    case BinaryOpKind::Div:
+      return L / R;
+    case BinaryOpKind::Min:
+      return std::min(L, R);
+    case BinaryOpKind::Max:
+      return std::max(L, R);
+    }
+    latteUnreachable("unknown binary op");
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(Ex);
+    float V = evalFloat(U->operand(), E);
+    switch (U->op()) {
+    case UnaryOpKind::Neg:
+      return -V;
+    case UnaryOpKind::Exp:
+      return std::exp(V);
+    case UnaryOpKind::Log:
+      return std::log(V);
+    case UnaryOpKind::Tanh:
+      return std::tanh(V);
+    case UnaryOpKind::Sigmoid:
+      return 1.0f / (1.0f + std::exp(-V));
+    case UnaryOpKind::Sqrt:
+      return std::sqrt(V);
+    case UnaryOpKind::Abs:
+      return std::fabs(V);
+    }
+    latteUnreachable("unknown unary op");
+  }
+  case Expr::Kind::Compare: {
+    const auto *C = cast<CompareExpr>(Ex);
+    float L = evalFloat(C->lhs(), E), R = evalFloat(C->rhs(), E);
+    bool Result = false;
+    switch (C->op()) {
+    case CompareOpKind::LT:
+      Result = L < R;
+      break;
+    case CompareOpKind::LE:
+      Result = L <= R;
+      break;
+    case CompareOpKind::GT:
+      Result = L > R;
+      break;
+    case CompareOpKind::GE:
+      Result = L >= R;
+      break;
+    case CompareOpKind::EQ:
+      Result = L == R;
+      break;
+    case CompareOpKind::NE:
+      Result = L != R;
+      break;
+    }
+    return Result ? 1.0f : 0.0f;
+  }
+  case Expr::Kind::Select: {
+    const auto *S = cast<SelectExpr>(Ex);
+    return evalFloat(S->cond(), E) != 0.0f
+               ? evalFloat(S->trueValue(), E)
+               : evalFloat(S->falseValue(), E);
+  }
+  }
+  latteUnreachable("unknown expression kind");
+}
+
+namespace {
+
+void applyAccum(float *Target, AccumKind Op, float V) {
+  switch (Op) {
+  case AccumKind::Assign:
+    *Target = V;
+    return;
+  case AccumKind::AddAssign:
+    *Target += V;
+    return;
+  case AccumKind::MulAssign:
+    *Target *= V;
+    return;
+  case AccumKind::MaxAssign:
+    *Target = std::max(*Target, V);
+    return;
+  case AccumKind::MinAssign:
+    *Target = std::min(*Target, V);
+    return;
+  }
+  latteUnreachable("unknown accumulation kind");
+}
+
+} // namespace
+
+void Executor::execStmt(const Stmt *S, Env &E) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Child : cast<BlockStmt>(S)->stmts())
+      execStmt(Child.get(), E);
+    return;
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    int64_t Lo = evalInt(F->lo(), E);
+    int64_t Extent = F->extent();
+    bool Par = F->annotations().Parallel && E.AllowParallel;
+
+    // Collapsed batch x tile parallel loop (§5.4.3).
+    const TiledLoopStmt *CollapsedTile = nullptr;
+    if (Par && F->annotations().Collapse == 2)
+      if (const auto *Body = dyn_cast<BlockStmt>(F->body()))
+        if (Body->stmts().size() == 1)
+          CollapsedTile = dyn_cast<TiledLoopStmt>(Body->stmts()[0].get());
+
+    if (Par && CollapsedTile) {
+      int64_t Tiles = CollapsedTile->numTiles();
+      int64_t Total = Extent * Tiles;
+#ifdef LATTE_HAVE_OPENMP
+#pragma omp parallel for schedule(static, 1)
+#endif
+      for (int64_t I = 0; I < Total; ++I) {
+        Env Local = E;
+        Local.AllowParallel = false;
+        Local.IntVars.emplace_back(F->var(), Lo + I / Tiles);
+        Local.IntVars.emplace_back(CollapsedTile->tileVar(), I % Tiles);
+        execStmt(CollapsedTile->body(), Local);
+      }
+      return;
+    }
+    if (Par && Extent > 1) {
+#ifdef LATTE_HAVE_OPENMP
+#pragma omp parallel for schedule(static, 1)
+#endif
+      for (int64_t I = 0; I < Extent; ++I) {
+        Env Local = E;
+        Local.AllowParallel = false;
+        Local.IntVars.emplace_back(F->var(), Lo + I);
+        execStmt(F->body(), Local);
+      }
+      return;
+    }
+    E.IntVars.emplace_back(F->var(), 0);
+    for (int64_t I = 0; I < Extent; ++I) {
+      E.IntVars.back().second = Lo + I;
+      execStmt(F->body(), E);
+    }
+    E.IntVars.pop_back();
+    return;
+  }
+  case Stmt::Kind::TiledLoop: {
+    const auto *T = cast<TiledLoopStmt>(S);
+    E.IntVars.emplace_back(T->tileVar(), 0);
+    for (int64_t I = 0; I < T->numTiles(); ++I) {
+      E.IntVars.back().second = I;
+      execStmt(T->body(), E);
+    }
+    E.IntVars.pop_back();
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    if (evalFloat(If->cond(), E) != 0.0f)
+      execStmt(If->thenStmt(), E);
+    else
+      execStmt(If->elseStmt(), E);
+    return;
+  }
+  case Stmt::Kind::Store: {
+    const auto *St = cast<StoreStmt>(S);
+    BufferRT &B = buffer(St->buffer());
+    assert(static_cast<int>(St->indices().size()) == B.Dims.rank() &&
+           "store index rank mismatch");
+    int64_t Off = 0;
+    for (size_t I = 0; I < St->indices().size(); ++I)
+      Off += evalInt(St->indices()[I].get(), E) * B.Strides[I];
+    assert(Off >= 0 && Off < B.Count && "store out of bounds");
+    applyAccum(B.Data + Off, St->op(), evalFloat(St->value(), E));
+    return;
+  }
+  case Stmt::Kind::Decl: {
+    const auto *D = cast<DeclStmt>(S);
+    E.FloatVars.emplace_back(D->name(), evalFloat(D->init(), E));
+    return;
+  }
+  case Stmt::Kind::AssignVar: {
+    const auto *A = cast<AssignVarStmt>(S);
+    float *Target = E.lookupFloat(A->name());
+    if (!Target)
+      reportFatalError("assignment to undeclared local '" + A->name() + "'");
+    applyAccum(Target, A->op(), evalFloat(A->value(), E));
+    return;
+  }
+  case Stmt::Kind::KernelCall:
+    execKernel(cast<KernelCallStmt>(S), E);
+    return;
+  case Stmt::Kind::Barrier:
+    return; // fusion metadata only
+  }
+  latteUnreachable("unknown statement kind");
+}
+
+void Executor::execKernel(const KernelCallStmt *K, Env &E) {
+  // Resolve float buffer pointers (int buffers are resolved per kind).
+  auto FloatArg = [&](size_t I) -> float * {
+    const KernelBufArg &A = K->bufs()[I];
+    int64_t Off = A.Offset ? evalInt(A.Offset.get(), E) : 0;
+    return buffer(A.Buffer).Data + Off;
+  };
+  auto IntArg = [&](size_t I) -> int32_t * {
+    const KernelBufArg &A = K->bufs()[I];
+    int64_t Off = A.Offset ? evalInt(A.Offset.get(), E) : 0;
+    return intBuffer(A.Buffer) + Off;
+  };
+  const std::vector<int64_t> &IA = K->intArgs();
+  auto ExprArg = [&](size_t I) -> int64_t {
+    return evalInt(K->exprArgs()[I].get(), E);
+  };
+
+  switch (K->kernel()) {
+  case KernelKind::Zero:
+    kernels::zero(FloatArg(0), IA[0]);
+    return;
+  case KernelKind::Copy:
+    kernels::copy(FloatArg(0), FloatArg(1), IA[0]);
+    return;
+  case KernelKind::AddTo:
+    kernels::addTo(FloatArg(0), FloatArg(1), IA[0]);
+    return;
+  case KernelKind::MulInto:
+    kernels::mulInto(FloatArg(0), FloatArg(1), FloatArg(2), IA[0]);
+    return;
+  case KernelKind::MulAddTo:
+    kernels::mulAddTo(FloatArg(0), FloatArg(1), FloatArg(2), IA[0]);
+    return;
+  case KernelKind::Scale:
+    kernels::scale(FloatArg(0), static_cast<float>(K->floatArgs()[0]),
+                   IA[0]);
+    return;
+  case KernelKind::Sgemm: {
+    // ints: {M, N, K, LdA, LdB, LdC, TransA, TransB, Accumulate}
+    auto Gemm = Opts.VectorKernels ? kernels::sgemm : kernels::sgemmNaive;
+    Gemm(IA[6] != 0, IA[7] != 0, IA[0], IA[1], IA[2], FloatArg(0), IA[3],
+         FloatArg(1), IA[4], FloatArg(2), IA[5], IA[8] != 0);
+    return;
+  }
+  case KernelKind::Gather2D: {
+    // ints: {Rows, Cols, ColCount}; exprs: {ColBegin}
+    int64_t Rows = IA[0], Cols = IA[1], Cnt = IA[2], Cb = ExprArg(0);
+    float *Dst = FloatArg(0);
+    const float *Src = FloatArg(1);
+    const int32_t *Table = IntArg(2);
+    auto GatherFn =
+        Opts.VectorKernels ? kernels::gather : kernels::gatherScalar;
+    for (int64_t R = 0; R < Rows; ++R)
+      GatherFn(Dst + R * Cols + Cb, Src, Table + R * Cols + Cb, Cnt);
+    return;
+  }
+  case KernelKind::ScatterAdd2D: {
+    int64_t Rows = IA[0], Cols = IA[1], Cnt = IA[2], Cb = ExprArg(0);
+    float *Dst = FloatArg(0);
+    const float *Src = FloatArg(1);
+    const int32_t *Table = IntArg(2);
+    for (int64_t R = 0; R < Rows; ++R)
+      kernels::scatterAdd(Dst, Src + R * Cols + Cb, Table + R * Cols + Cb,
+                          Cnt);
+    return;
+  }
+  case KernelKind::ActFwdCols: {
+    // ints: {Op, Rows, Cols, ColCount}; exprs: {ColBegin}
+    auto Op = static_cast<ActOpKind>(IA[0]);
+    int64_t Rows = IA[1], Cols = IA[2], Cnt = IA[3], Cb = ExprArg(0);
+    float *Dst = FloatArg(0);
+    const float *Src = FloatArg(1);
+    for (int64_t R = 0; R < Rows; ++R) {
+      float *D = Dst + R * Cols + Cb;
+      const float *Sp = Src + R * Cols + Cb;
+      switch (Op) {
+      case ActOpKind::Relu:
+        (Opts.VectorKernels ? kernels::reluFwd : kernels::reluFwdScalar)(
+            D, Sp, Cnt);
+        break;
+      case ActOpKind::Sigmoid:
+        kernels::sigmoidFwd(D, Sp, Cnt);
+        break;
+      case ActOpKind::Tanh:
+        kernels::tanhFwd(D, Sp, Cnt);
+        break;
+      }
+    }
+    return;
+  }
+  case KernelKind::ActBwdCols: {
+    // ints: {Op, Rows, Cols, ColCount, InPlace}; exprs: {ColBegin}
+    auto Op = static_cast<ActOpKind>(IA[0]);
+    int64_t Rows = IA[1], Cols = IA[2], Cnt = IA[3], Cb = ExprArg(0);
+    bool InPlace = IA[4] != 0;
+    float *DstG = FloatArg(0);
+    const float *OutG = FloatArg(1);
+    const float *Val = FloatArg(2);
+    for (int64_t R = 0; R < Rows; ++R) {
+      int64_t Base = R * Cols + Cb;
+      float *Dg = DstG + Base;
+      const float *Og = OutG + Base;
+      const float *V = Val + Base;
+      switch (Op) {
+      case ActOpKind::Relu:
+        if (InPlace) {
+          for (int64_t I = 0; I < Cnt; ++I)
+            Dg[I] = V[I] > 0.0f ? Og[I] : 0.0f;
+        } else {
+          (Opts.VectorKernels ? kernels::reluBwd
+                              : kernels::reluBwdScalar)(Dg, Og, V, Cnt);
+        }
+        break;
+      case ActOpKind::Sigmoid:
+        for (int64_t I = 0; I < Cnt; ++I) {
+          float D = Og[I] * V[I] * (1.0f - V[I]);
+          Dg[I] = InPlace ? D : Dg[I] + D;
+        }
+        break;
+      case ActOpKind::Tanh:
+        for (int64_t I = 0; I < Cnt; ++I) {
+          float D = Og[I] * (1.0f - V[I] * V[I]);
+          Dg[I] = InPlace ? D : Dg[I] + D;
+        }
+        break;
+      }
+    }
+    return;
+  }
+  case KernelKind::BiasAddCols: {
+    // ints: {Rows, Cols, ColCount}; exprs: {ColBegin}
+    int64_t Rows = IA[0], Cols = IA[1], Cnt = IA[2], Cb = ExprArg(0);
+    float *Dst = FloatArg(0);
+    const float *Bias = FloatArg(1);
+    for (int64_t R = 0; R < Rows; ++R)
+      kernels::addScalar(Dst + R * Cols + Cb, Bias[R], Cnt);
+    return;
+  }
+  case KernelKind::BiasAddPerRow: {
+    int64_t Rows = IA[0], Cols = IA[1];
+    float *Dst = FloatArg(0);
+    const float *Bias = FloatArg(1);
+    for (int64_t R = 0; R < Rows; ++R)
+      kernels::addTo(Dst + R * Cols, Bias, Cols);
+    return;
+  }
+  case KernelKind::RowSumAdd: {
+    int64_t Rows = IA[0], Cols = IA[1];
+    float *Dst = FloatArg(0);
+    const float *Src = FloatArg(1);
+    for (int64_t R = 0; R < Rows; ++R)
+      Dst[R] += kernels::sum(Src + R * Cols, Cols);
+    return;
+  }
+  case KernelKind::ColSumAdd: {
+    int64_t Rows = IA[0], Cols = IA[1];
+    float *Dst = FloatArg(0);
+    const float *Src = FloatArg(1);
+    for (int64_t R = 0; R < Rows; ++R)
+      kernels::addTo(Dst, Src + R * Cols, Cols);
+    return;
+  }
+  case KernelKind::Im2ColRows:
+  case KernelKind::Col2ImRows: {
+    kernels::ConvGeometry G;
+    G.Channels = IA[0];
+    G.Height = IA[1];
+    G.Width = IA[2];
+    G.KernelH = G.KernelW = IA[3];
+    G.StrideH = G.StrideW = IA[4];
+    G.PadH = G.PadW = IA[5];
+    int64_t Rc = IA[6], Rb = ExprArg(0);
+    if (K->kernel() == KernelKind::Im2ColRows)
+      kernels::im2colRows(FloatArg(1), G, FloatArg(0), Rb, Rc);
+    else
+      kernels::col2imRows(FloatArg(1), G, FloatArg(0), Rb, Rc);
+    return;
+  }
+  case KernelKind::MaxPoolFwdRows:
+  case KernelKind::MaxPoolBwdRows:
+  case KernelKind::AvgPoolFwdRows:
+  case KernelKind::AvgPoolBwdRows: {
+    // ints: {C, InH, InW, K, S, Pad, RowCount}; exprs: {RowBegin}
+    kernels::ConvGeometry G;
+    G.Channels = IA[0];
+    G.Height = IA[1];
+    G.Width = IA[2];
+    G.KernelH = G.KernelW = IA[3];
+    G.StrideH = G.StrideW = IA[4];
+    G.PadH = G.PadW = IA[5];
+    int64_t Rc = IA[6], Rb = ExprArg(0);
+    switch (K->kernel()) {
+    case KernelKind::MaxPoolFwdRows:
+      kernels::maxPoolFwdRows(FloatArg(1), G, FloatArg(0), IntArg(2), Rb,
+                              Rc);
+      return;
+    case KernelKind::MaxPoolBwdRows:
+      kernels::maxPoolBwdRows(FloatArg(1), G, IntArg(2), FloatArg(0), Rb,
+                              Rc);
+      return;
+    case KernelKind::AvgPoolFwdRows:
+      kernels::avgPoolFwdRows(FloatArg(1), G, FloatArg(0), Rb, Rc);
+      return;
+    case KernelKind::AvgPoolBwdRows:
+      kernels::avgPoolBwdRows(FloatArg(1), G, FloatArg(0), Rb, Rc);
+      return;
+    default:
+      latteUnreachable("pool kernel dispatch");
+    }
+  }
+  case KernelKind::SoftmaxFwd: {
+    int64_t Rows = IA[0], Classes = IA[1];
+    float *Dst = FloatArg(0);
+    const float *Src = FloatArg(1);
+    for (int64_t R = 0; R < Rows; ++R)
+      kernels::softmaxFwd(Dst + R * Classes, Src + R * Classes, Classes);
+    return;
+  }
+  case KernelKind::SoftmaxLossFwd: {
+    int64_t Rows = IA[0], Classes = IA[1];
+    float *Prob = FloatArg(0);
+    const float *Src = FloatArg(1);
+    const float *Labels = FloatArg(2);
+    float *Loss = FloatArg(3);
+    for (int64_t R = 0; R < Rows; ++R) {
+      kernels::softmaxFwd(Prob + R * Classes, Src + R * Classes, Classes);
+      Loss[R] = kernels::crossEntropyLoss(Prob + R * Classes, Classes,
+                                          static_cast<int64_t>(Labels[R]));
+    }
+    return;
+  }
+  case KernelKind::SoftmaxLossBwd: {
+    int64_t Rows = IA[0], Classes = IA[1];
+    float Scale = static_cast<float>(K->floatArgs()[0]);
+    float *Grad = FloatArg(0);
+    const float *Prob = FloatArg(1);
+    const float *Labels = FloatArg(2);
+    for (int64_t R = 0; R < Rows; ++R)
+      kernels::softmaxLossBwd(Grad + R * Classes, Prob + R * Classes,
+                              Classes, static_cast<int64_t>(Labels[R]),
+                              Scale);
+    return;
+  }
+  case KernelKind::SoftmaxBwd: {
+    int64_t Rows = IA[0], Classes = IA[1];
+    float *Gin = FloatArg(0);
+    const float *Og = FloatArg(1);
+    const float *P = FloatArg(2);
+    for (int64_t R = 0; R < Rows; ++R) {
+      const float *Ogr = Og + R * Classes;
+      const float *Pr = P + R * Classes;
+      float Dot = 0.0f;
+      for (int64_t C = 0; C < Classes; ++C)
+        Dot += Ogr[C] * Pr[C];
+      float *G = Gin + R * Classes;
+      for (int64_t C = 0; C < Classes; ++C)
+        G[C] += Pr[C] * (Ogr[C] - Dot);
+    }
+    return;
+  }
+  case KernelKind::DropoutMask: {
+    int64_t Count = IA[0];
+    float Keep = static_cast<float>(K->floatArgs()[0]);
+    float *Mask = FloatArg(0);
+    float Inv = Keep > 0.0f ? 1.0f / Keep : 0.0f;
+    for (int64_t I = 0; I < Count; ++I)
+      Mask[I] = DropoutRng.uniform() < Keep ? Inv : 0.0f;
+    return;
+  }
+  case KernelKind::GradSyncHook: {
+    if (Hook_)
+      Hook_(K->bufs()[0].Buffer, FloatArg(0), IA[0]);
+    return;
+  }
+  }
+  latteUnreachable("unknown kernel kind");
+}

@@ -1,0 +1,130 @@
+//===- engine/executor.h - Runs compiled programs --------------*- C++ -*-===//
+///
+/// \file
+/// The execution engine: allocates a compiled Program's buffers (honoring
+/// the aliasing the shared-variable analysis set up), initializes
+/// parameters, and runs the forward/backward IR. Kernel-call statements
+/// dispatch into src/kernels at native speed; anything the pattern matchers
+/// left as loop nests is interpreted (the general fallback for custom
+/// neuron types).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_ENGINE_EXECUTOR_H
+#define LATTE_ENGINE_EXECUTOR_H
+
+#include "compiler/program.h"
+#include "support/rng.h"
+#include "support/tensor.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace latte {
+namespace engine {
+
+/// Runtime options (the engine-side halves of the compile-time switches).
+struct ExecOptions {
+  /// Use the vectorized kernel variants (GEMM blocking, vector gathers).
+  /// Off = the scalar reference kernels, for the Figure 13 ablation.
+  bool VectorKernels = true;
+  /// Honor parallel loop annotations with OpenMP.
+  bool Parallel = true;
+  /// Allow racing (lossy) parameter-gradient accumulation in parallel
+  /// backward loops (§3.1 / Project Adam-style). When false the engine
+  /// serializes the backward batch loop instead — the "synchronized
+  /// reduction" mode, trading performance for determinism.
+  bool LossyGradients = false;
+  uint64_t Seed = 0x5eed;
+};
+
+/// Callback invoked by GradSyncHook kernel calls: (buffer name, data,
+/// element count). Used by the distributed runtime to start asynchronous
+/// gradient reductions as soon as a gradient is ready (§5.3).
+using GradHook =
+    std::function<void(const std::string &, float *, int64_t)>;
+
+class Executor {
+public:
+  /// Takes ownership of the compiled program (so `Executor(compile(Net))`
+  /// is safe).
+  explicit Executor(compiler::Program Prog, ExecOptions Opts = {});
+
+  const compiler::Program &program() const { return Prog; }
+  const ExecOptions &options() const { return Opts; }
+
+  // --- buffer access ------------------------------------------------------
+
+  /// Raw storage of \p Name (aliases resolved). Fatal if unknown.
+  float *data(const std::string &Name);
+  const float *data(const std::string &Name) const;
+  /// Logical shape of \p Name.
+  const Shape &shape(const std::string &Name) const;
+  /// Element count of \p Name.
+  int64_t size(const std::string &Name) const;
+
+  /// Copies \p T into the program's primary data buffer (shapes' element
+  /// counts must match).
+  void setInput(const Tensor &T);
+  /// Copies \p T into the label buffer.
+  void setLabels(const Tensor &T);
+  /// Copies a buffer out into a Tensor (for inspection/tests).
+  Tensor readBuffer(const std::string &Name) const;
+  /// Overwrites buffer \p Name from \p T.
+  void writeBuffer(const std::string &Name, const Tensor &T);
+
+  // --- execution ----------------------------------------------------------
+
+  /// Re-initializes all parameters from \p Seed (Xavier / Gaussian /
+  /// constant per the compiler's declarations).
+  void initParams(uint64_t Seed);
+
+  void forward();
+  void backward();
+
+  /// Mean of the loss buffer after a forward pass (0 when the program has
+  /// no loss ensemble).
+  double lossValue() const;
+
+  /// Top-1 accuracy of the probability buffer against the label buffer.
+  double accuracy() const;
+
+  void setGradHook(GradHook Hook) { Hook_ = std::move(Hook); }
+
+private:
+  struct BufferRT {
+    float *Data = nullptr;
+    Shape Dims;
+    std::vector<int64_t> Strides;
+    int64_t Count = 0;
+    bool ZeroOnForward = false;
+    bool ZeroOnBackward = false;
+  };
+
+  struct Env; // loop variables + scalar locals
+
+  void execStmt(const ir::Stmt *S, Env &E);
+  void execKernel(const ir::KernelCallStmt *K, Env &E);
+  float evalFloat(const ir::Expr *Ex, Env &E) const;
+  int64_t evalInt(const ir::Expr *Ex, Env &E) const;
+
+  const BufferRT &buffer(const std::string &Name) const;
+  BufferRT &buffer(const std::string &Name);
+  int32_t *intBuffer(const std::string &Name);
+
+  compiler::Program Prog;
+  ExecOptions Opts;
+  std::vector<Tensor> Storage; ///< owning storage (non-alias buffers)
+  std::unordered_map<std::string, BufferRT> Buffers;
+  std::unordered_map<std::string, std::vector<int32_t>> IntBuffers;
+  Rng DropoutRng;
+  GradHook Hook_;
+};
+
+} // namespace engine
+} // namespace latte
+
+#endif // LATTE_ENGINE_EXECUTOR_H

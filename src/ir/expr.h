@@ -1,0 +1,222 @@
+//===- ir/expr.h - Latte IR expressions ------------------------*- C++ -*-===//
+///
+/// \file
+/// Expression nodes of the Latte intermediate representation. The IR plays
+/// the role of the paper's "superset of the internal Julia AST" (§5): neuron
+/// forward/backward functions are written against it, synthesis produces
+/// loop nests of it, and every optimization pass rewrites it.
+///
+/// Expressions are scalar-valued (float semantics; loop variables are
+/// integers). Ownership is by std::unique_ptr; trees are cloneable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_IR_EXPR_H
+#define LATTE_IR_EXPR_H
+
+#include "support/casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace latte {
+namespace ir {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Base class of all IR expressions.
+class Expr {
+public:
+  enum class Kind {
+    IntConst,
+    FloatConst,
+    Var,
+    Load,
+    Binary,
+    Unary,
+    Compare,
+    Select,
+  };
+
+  explicit Expr(Kind K) : TheKind(K) {}
+  virtual ~Expr();
+
+  Kind kind() const { return TheKind; }
+
+  /// Deep copy of this expression tree.
+  virtual ExprPtr clone() const = 0;
+
+private:
+  const Kind TheKind;
+};
+
+/// Integer literal (loop bounds, index arithmetic constants).
+class IntConstExpr : public Expr {
+public:
+  explicit IntConstExpr(int64_t Value)
+      : Expr(Kind::IntConst), Value(Value) {}
+
+  int64_t value() const { return Value; }
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntConst; }
+
+private:
+  int64_t Value;
+};
+
+/// Floating-point literal.
+class FloatConstExpr : public Expr {
+public:
+  explicit FloatConstExpr(double Value)
+      : Expr(Kind::FloatConst), Value(Value) {}
+
+  double value() const { return Value; }
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::FloatConst; }
+
+private:
+  double Value;
+};
+
+/// Reference to a loop variable or a local scalar variable.
+class VarExpr : public Expr {
+public:
+  explicit VarExpr(std::string Name) : Expr(Kind::Var), Name(std::move(Name)) {
+    assert(!this->Name.empty() && "variable name must not be empty");
+  }
+
+  const std::string &name() const { return Name; }
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Var; }
+
+private:
+  std::string Name;
+};
+
+/// Load of one element of a named buffer: Buffer[I0, I1, ...]. Index
+/// expressions are integer-valued.
+class LoadExpr : public Expr {
+public:
+  LoadExpr(std::string Buffer, std::vector<ExprPtr> Indices)
+      : Expr(Kind::Load), Buffer(std::move(Buffer)),
+        Indices(std::move(Indices)) {}
+
+  const std::string &buffer() const { return Buffer; }
+  const std::vector<ExprPtr> &indices() const { return Indices; }
+  std::vector<ExprPtr> &indices() { return Indices; }
+  void setBuffer(std::string NewBuffer) { Buffer = std::move(NewBuffer); }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Load; }
+
+private:
+  std::string Buffer;
+  std::vector<ExprPtr> Indices;
+};
+
+/// Binary arithmetic. Min/Max are included because they are fundamental to
+/// pooling and rectifier neurons.
+enum class BinaryOpKind { Add, Sub, Mul, Div, Min, Max };
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOpKind Op, ExprPtr LHS, ExprPtr RHS)
+      : Expr(Kind::Binary), Op(Op), LHS(std::move(LHS)), RHS(std::move(RHS)) {
+    assert(this->LHS && this->RHS && "binary operands must be non-null");
+  }
+
+  BinaryOpKind op() const { return Op; }
+  const Expr *lhs() const { return LHS.get(); }
+  const Expr *rhs() const { return RHS.get(); }
+  Expr *lhs() { return LHS.get(); }
+  Expr *rhs() { return RHS.get(); }
+  ExprPtr takeLhs() { return std::move(LHS); }
+  ExprPtr takeRhs() { return std::move(RHS); }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOpKind Op;
+  ExprPtr LHS, RHS;
+};
+
+/// Unary operations, including the transcendental intrinsics neuron
+/// activation functions need.
+enum class UnaryOpKind { Neg, Exp, Log, Tanh, Sigmoid, Sqrt, Abs };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOpKind Op, ExprPtr Operand)
+      : Expr(Kind::Unary), Op(Op), Operand(std::move(Operand)) {
+    assert(this->Operand && "unary operand must be non-null");
+  }
+
+  UnaryOpKind op() const { return Op; }
+  const Expr *operand() const { return Operand.get(); }
+  Expr *operand() { return Operand.get(); }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnaryOpKind Op;
+  ExprPtr Operand;
+};
+
+/// Comparison producing 1.0 / 0.0 (used through SelectExpr).
+enum class CompareOpKind { LT, LE, GT, GE, EQ, NE };
+
+class CompareExpr : public Expr {
+public:
+  CompareExpr(CompareOpKind Op, ExprPtr LHS, ExprPtr RHS)
+      : Expr(Kind::Compare), Op(Op), LHS(std::move(LHS)), RHS(std::move(RHS)) {
+    assert(this->LHS && this->RHS && "compare operands must be non-null");
+  }
+
+  CompareOpKind op() const { return Op; }
+  const Expr *lhs() const { return LHS.get(); }
+  const Expr *rhs() const { return RHS.get(); }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Compare; }
+
+private:
+  CompareOpKind Op;
+  ExprPtr LHS, RHS;
+};
+
+/// Cond ? TrueValue : FalseValue.
+class SelectExpr : public Expr {
+public:
+  SelectExpr(ExprPtr Cond, ExprPtr TrueValue, ExprPtr FalseValue)
+      : Expr(Kind::Select), Cond(std::move(Cond)),
+        TrueValue(std::move(TrueValue)), FalseValue(std::move(FalseValue)) {}
+
+  const Expr *cond() const { return Cond.get(); }
+  const Expr *trueValue() const { return TrueValue.get(); }
+  const Expr *falseValue() const { return FalseValue.get(); }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Select; }
+
+private:
+  ExprPtr Cond, TrueValue, FalseValue;
+};
+
+} // namespace ir
+} // namespace latte
+
+#endif // LATTE_IR_EXPR_H

@@ -1,0 +1,30 @@
+//===- ir/printer.h - Human-readable IR dumps ------------------*- C++ -*-===//
+///
+/// \file
+/// Renders IR trees in a pseudo-code style close to the paper's listings
+/// (Figures 8-12). Tests assert against this representation, and the dumps
+/// are the primary debugging aid for compiler passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_IR_PRINTER_H
+#define LATTE_IR_PRINTER_H
+
+#include "ir/expr.h"
+#include "ir/stmt.h"
+
+#include <string>
+
+namespace latte {
+namespace ir {
+
+/// Renders an expression, e.g. "value[n, c] + weights[i, c] * inputs[i]".
+std::string printExpr(const Expr *E);
+
+/// Renders a statement tree with two-space indentation.
+std::string printStmt(const Stmt *S);
+
+} // namespace ir
+} // namespace latte
+
+#endif // LATTE_IR_PRINTER_H

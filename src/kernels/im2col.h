@@ -1,0 +1,59 @@
+//===- kernels/im2col.h - Convolution lowering helpers ---------*- C++ -*-===//
+///
+/// \file
+/// im2col / col2im: the matrix-multiplication formulation of convolution
+/// used by Caffe-style frameworks (and by Latte's synthesized data-copy
+/// tasks for convolution ensembles). Data layout is CHW (channel, row,
+/// column), row-major.
+///
+/// im2col produces a matrix of shape
+///   [Channels * KernelH * KernelW] x [OutH * OutW]
+/// where column (y, x) holds the input window that produces output (y, x).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_KERNELS_IM2COL_H
+#define LATTE_KERNELS_IM2COL_H
+
+#include <cstdint>
+
+namespace latte {
+namespace kernels {
+
+struct ConvGeometry {
+  int64_t Channels = 0;
+  int64_t Height = 0;
+  int64_t Width = 0;
+  int64_t KernelH = 0;
+  int64_t KernelW = 0;
+  int64_t StrideH = 1;
+  int64_t StrideW = 1;
+  int64_t PadH = 0;
+  int64_t PadW = 0;
+
+  int64_t outH() const { return (Height + 2 * PadH - KernelH) / StrideH + 1; }
+  int64_t outW() const { return (Width + 2 * PadW - KernelW) / StrideW + 1; }
+  int64_t colRows() const { return Channels * KernelH * KernelW; }
+  int64_t colCols() const { return outH() * outW(); }
+};
+
+/// Expands \p Image (C x H x W) into \p Col (colRows x colCols). Positions
+/// that fall into padding become zero.
+void im2col(const float *Image, const ConvGeometry &G, float *Col);
+
+/// Adjoint of im2col: accumulates \p Col back into \p Image. The caller is
+/// responsible for zeroing Image first when overwrite semantics are wanted.
+void col2im(const float *Col, const ConvGeometry &G, float *Image);
+
+// Row-ranged variants covering output rows [RowBegin, RowBegin + RowCount)
+// only — the units Latte's tiling pass splits convolution data-copy tasks
+// into (the synthesized copy loops of paper §5.3).
+void im2colRows(const float *Image, const ConvGeometry &G, float *Col,
+                int64_t RowBegin, int64_t RowCount);
+void col2imRows(const float *Col, const ConvGeometry &G, float *Image,
+                int64_t RowBegin, int64_t RowCount);
+
+} // namespace kernels
+} // namespace latte
+
+#endif // LATTE_KERNELS_IM2COL_H

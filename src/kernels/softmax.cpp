@@ -1,0 +1,38 @@
+//===- kernels/softmax.cpp ------------------------------------*- C++ -*-===//
+
+#include "kernels/softmax.h"
+
+#include "kernels/elementwise.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace latte;
+
+void kernels::softmaxFwd(float *Dst, const float *Src, int64_t Classes) {
+  assert(Classes > 0 && "softmax needs at least one class");
+  float Max = maxElement(Src, Classes);
+  float Total = 0.0f;
+  for (int64_t C = 0; C < Classes; ++C) {
+    Dst[C] = std::exp(Src[C] - Max);
+    Total += Dst[C];
+  }
+  float Inv = 1.0f / Total;
+  for (int64_t C = 0; C < Classes; ++C)
+    Dst[C] *= Inv;
+}
+
+float kernels::crossEntropyLoss(const float *Prob, int64_t Classes,
+                                int64_t Label) {
+  assert(Label >= 0 && Label < Classes && "label out of range");
+  float P = Prob[Label];
+  const float Floor = 1e-20f;
+  return -std::log(P < Floor ? Floor : P);
+}
+
+void kernels::softmaxLossBwd(float *Grad, const float *Prob, int64_t Classes,
+                             int64_t Label, float Scale) {
+  assert(Label >= 0 && Label < Classes && "label out of range");
+  for (int64_t C = 0; C < Classes; ++C)
+    Grad[C] += (Prob[C] - (C == Label ? 1.0f : 0.0f)) * Scale;
+}

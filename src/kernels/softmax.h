@@ -1,0 +1,34 @@
+//===- kernels/softmax.h - Softmax and cross-entropy loss -----*- C++ -*-===//
+///
+/// \file
+/// Numerically stable softmax and the fused softmax-with-cross-entropy-loss
+/// used by SoftmaxLossLayer. These back the NormalizationEnsemble lowering
+/// in Latte and the loss layers of both baselines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_KERNELS_SOFTMAX_H
+#define LATTE_KERNELS_SOFTMAX_H
+
+#include <cstdint>
+
+namespace latte {
+namespace kernels {
+
+/// Dst = softmax(Src) over \p Classes entries (max-subtracted for
+/// stability). Dst may alias Src.
+void softmaxFwd(float *Dst, const float *Src, int64_t Classes);
+
+/// Cross-entropy loss of softmax \p Prob against integer \p Label.
+/// Returns -log(Prob[Label]) with clamping to avoid infinities.
+float crossEntropyLoss(const float *Prob, int64_t Classes, int64_t Label);
+
+/// Gradient of (softmax + cross-entropy) wrt the pre-softmax inputs:
+/// Grad[c] += (Prob[c] - (c == Label)) * Scale.
+void softmaxLossBwd(float *Grad, const float *Prob, int64_t Classes,
+                    int64_t Label, float Scale);
+
+} // namespace kernels
+} // namespace latte
+
+#endif // LATTE_KERNELS_SOFTMAX_H

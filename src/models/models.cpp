@@ -1,0 +1,390 @@
+//===- models/models.cpp --------------------------------------*- C++ -*-===//
+
+#include "models/models.h"
+
+#include "baselines/mocha/mocha.h"
+#include "core/layers/layers.h"
+#include "support/error.h"
+
+#include <cmath>
+
+using namespace latte;
+using namespace latte::models;
+
+namespace {
+
+LayerSpec conv(std::string Name, int64_t Filters, int64_t Kernel,
+               int64_t Stride, int64_t Pad) {
+  LayerSpec L;
+  L.K = LayerSpec::Kind::Conv;
+  L.Name = std::move(Name);
+  L.Filters = Filters;
+  L.Kernel = Kernel;
+  L.Stride = Stride;
+  L.Pad = Pad;
+  return L;
+}
+
+LayerSpec pool(std::string Name, int64_t Kernel, int64_t Stride,
+               int64_t Pad = 0) {
+  LayerSpec L;
+  L.K = LayerSpec::Kind::MaxPool;
+  L.Name = std::move(Name);
+  L.Kernel = Kernel;
+  L.Stride = Stride;
+  L.Pad = Pad;
+  return L;
+}
+
+LayerSpec relu(std::string Name) {
+  LayerSpec L;
+  L.K = LayerSpec::Kind::Relu;
+  L.Name = std::move(Name);
+  return L;
+}
+
+LayerSpec tanhL(std::string Name) {
+  LayerSpec L;
+  L.K = LayerSpec::Kind::Tanh;
+  L.Name = std::move(Name);
+  return L;
+}
+
+LayerSpec fc(std::string Name, int64_t Outputs) {
+  LayerSpec L;
+  L.K = LayerSpec::Kind::Fc;
+  L.Name = std::move(Name);
+  L.Filters = Outputs;
+  return L;
+}
+
+[[maybe_unused]] LayerSpec dropout(std::string Name, double Keep) {
+  LayerSpec L;
+  L.K = LayerSpec::Kind::Dropout;
+  L.Name = std::move(Name);
+  L.KeepProb = Keep;
+  return L;
+}
+
+int64_t scaled(int64_t Extent, double Scale) {
+  int64_t S = static_cast<int64_t>(std::llround(Extent * Scale));
+  return S < 1 ? 1 : S;
+}
+
+} // namespace
+
+std::vector<LayerAudit> models::auditSpec(const ModelSpec &Spec) {
+  std::vector<LayerAudit> Audit;
+  Shape Cur = Spec.InputDims;
+  auto OutSpatial = [](int64_t In, int64_t K, int64_t S, int64_t P) {
+    int64_t Out = (In + 2 * P - K) / S + 1;
+    if (Out <= 0)
+      reportFatalError("layer output collapses to zero; the spatial scale "
+                       "is too small for this architecture");
+    return Out;
+  };
+  for (const LayerSpec &L : Spec.Layers) {
+    LayerAudit Row;
+    Row.Name = L.Name;
+    switch (L.K) {
+    case LayerSpec::Kind::Conv: {
+      assert(Cur.rank() == 3 && "conv input must be (C, H, W)");
+      int64_t OutH = OutSpatial(Cur[1], L.Kernel, L.Stride, L.Pad);
+      int64_t OutW = OutSpatial(Cur[2], L.Kernel, L.Stride, L.Pad);
+      Row.Params = L.Filters * (Cur[0] * L.Kernel * L.Kernel + 1);
+      Cur = Shape{L.Filters, OutH, OutW};
+      break;
+    }
+    case LayerSpec::Kind::MaxPool:
+    case LayerSpec::Kind::AvgPool: {
+      int64_t OutH = OutSpatial(Cur[1], L.Kernel, L.Stride, L.Pad);
+      int64_t OutW = OutSpatial(Cur[2], L.Kernel, L.Stride, L.Pad);
+      Cur = Shape{Cur[0], OutH, OutW};
+      break;
+    }
+    case LayerSpec::Kind::Relu:
+    case LayerSpec::Kind::Tanh:
+    case LayerSpec::Kind::Dropout:
+      break;
+    case LayerSpec::Kind::Fc:
+      Row.Params = L.Filters * (Cur.numElements() + 1);
+      Cur = Shape{L.Filters};
+      break;
+    }
+    Row.OutDims = Cur;
+    Audit.push_back(std::move(Row));
+  }
+  // Final classifier.
+  LayerAudit Cls;
+  Cls.Name = "classifier";
+  Cls.Params = Spec.NumClasses * (Cur.numElements() + 1);
+  Cls.OutDims = Shape{Spec.NumClasses};
+  Audit.push_back(std::move(Cls));
+  return Audit;
+}
+
+int64_t models::countParams(const ModelSpec &Spec) {
+  int64_t Total = 0;
+  for (const LayerAudit &Row : auditSpec(Spec))
+    Total += Row.Params;
+  return Total;
+}
+
+ModelSpec models::alexNet(double Scale) {
+  ModelSpec Spec;
+  Spec.Name = "AlexNet";
+  Spec.InputDims = Shape{3, scaled(227, Scale), scaled(227, Scale)};
+  Spec.NumClasses = 1000;
+  Spec.Layers = {
+      conv("conv1", 96, 11, 4, 0), relu("relu1"), pool("pool1", 3, 2),
+      conv("conv2", 256, 5, 1, 2), relu("relu2"), pool("pool2", 3, 2),
+      conv("conv3", 384, 3, 1, 1), relu("relu3"),
+      conv("conv4", 384, 3, 1, 1), relu("relu4"),
+      conv("conv5", 256, 3, 1, 1), relu("relu5"), pool("pool5", 3, 2),
+      fc("fc6", 4096),             relu("relu6"),
+      fc("fc7", 4096),             relu("relu7"),
+  };
+  return Spec;
+}
+
+ModelSpec models::vggA(double Scale) {
+  ModelSpec Spec;
+  Spec.Name = "VGG";
+  Spec.InputDims = Shape{3, scaled(224, Scale), scaled(224, Scale)};
+  Spec.NumClasses = 1000;
+  Spec.Layers = {
+      // Group 1
+      conv("conv1_1", 64, 3, 1, 1), relu("relu1_1"), pool("pool1", 2, 2),
+      // Group 2
+      conv("conv2_1", 128, 3, 1, 1), relu("relu2_1"), pool("pool2", 2, 2),
+      // Group 3 (two convolutions)
+      conv("conv3_1", 256, 3, 1, 1), relu("relu3_1"),
+      conv("conv3_2", 256, 3, 1, 1), relu("relu3_2"), pool("pool3", 2, 2),
+      // Group 4 (two convolutions; the paper's fusion-limited case)
+      conv("conv4_1", 512, 3, 1, 1), relu("relu4_1"),
+      conv("conv4_2", 512, 3, 1, 1), relu("relu4_2"), pool("pool4", 2, 2),
+      // Group 5
+      conv("conv5_1", 512, 3, 1, 1), relu("relu5_1"),
+      conv("conv5_2", 512, 3, 1, 1), relu("relu5_2"), pool("pool5", 2, 2),
+      fc("fc6", 4096), relu("relu6"),
+      fc("fc7", 4096), relu("relu7"),
+  };
+  return Spec;
+}
+
+ModelSpec models::vgg16(double Scale) {
+  ModelSpec Spec;
+  Spec.Name = "VGG-16";
+  Spec.InputDims = Shape{3, scaled(224, Scale), scaled(224, Scale)};
+  Spec.NumClasses = 1000;
+  auto Block = [&](int G, int Convs, int64_t Filters) {
+    for (int I = 1; I <= Convs; ++I) {
+      std::string N =
+          "conv" + std::to_string(G) + "_" + std::to_string(I);
+      Spec.Layers.push_back(conv(N, Filters, 3, 1, 1));
+      Spec.Layers.push_back(relu("relu" + std::to_string(G) + "_" +
+                                 std::to_string(I)));
+    }
+    Spec.Layers.push_back(pool("pool" + std::to_string(G), 2, 2));
+  };
+  Block(1, 2, 64);
+  Block(2, 2, 128);
+  Block(3, 3, 256);
+  Block(4, 3, 512);
+  Block(5, 3, 512);
+  Spec.Layers.push_back(fc("fc6", 4096));
+  Spec.Layers.push_back(relu("relu6"));
+  Spec.Layers.push_back(fc("fc7", 4096));
+  Spec.Layers.push_back(relu("relu7"));
+  return Spec;
+}
+
+ModelSpec models::overfeat(double Scale) {
+  ModelSpec Spec;
+  Spec.Name = "OverFeat";
+  Spec.InputDims = Shape{3, scaled(231, Scale), scaled(231, Scale)};
+  Spec.NumClasses = 1000;
+  Spec.Layers = {
+      conv("conv1", 96, 11, 4, 0),   relu("relu1"), pool("pool1", 2, 2),
+      conv("conv2", 256, 5, 1, 0),   relu("relu2"), pool("pool2", 2, 2),
+      conv("conv3", 512, 3, 1, 1),   relu("relu3"),
+      conv("conv4", 1024, 3, 1, 1),  relu("relu4"),
+      conv("conv5", 1024, 3, 1, 1),  relu("relu5"), pool("pool5", 2, 2),
+      fc("fc6", 3072),               relu("relu6"),
+      fc("fc7", 4096),               relu("relu7"),
+  };
+  return Spec;
+}
+
+ModelSpec models::vggFirstThreeLayers(double Scale, int64_t InputChannels) {
+  ModelSpec Spec;
+  Spec.Name = "VGG-first-3";
+  Spec.InputDims =
+      Shape{InputChannels, scaled(224, Scale), scaled(224, Scale)};
+  Spec.NumClasses = 10;
+  Spec.Layers = {conv("conv1_1", 64, 3, 1, 1), relu("relu1_1"),
+                 pool("pool1", 2, 2)};
+  return Spec;
+}
+
+ModelSpec models::vggGroup(int G, double Scale) {
+  assert(G >= 1 && G <= 4 && "VGG group index must be 1-4");
+  // Natural input of group G of VGG model A at 224 input.
+  static const int64_t Channels[] = {3, 64, 128, 256};
+  static const int64_t Spatial[] = {224, 112, 56, 28};
+  static const int64_t Filters[] = {64, 128, 256, 512};
+  ModelSpec Spec;
+  Spec.Name = "VGG-group" + std::to_string(G);
+  Spec.InputDims = Shape{Channels[G - 1], scaled(Spatial[G - 1], Scale),
+                         scaled(Spatial[G - 1], Scale)};
+  Spec.NumClasses = 10;
+  int Convs = G >= 3 ? 2 : 1;
+  for (int I = 1; I <= Convs; ++I) {
+    std::string N = "conv" + std::to_string(G) + "_" + std::to_string(I);
+    Spec.Layers.push_back(conv(N, Filters[G - 1], 3, 1, 1));
+    Spec.Layers.push_back(relu("relu" + std::to_string(G) + "_" +
+                               std::to_string(I)));
+  }
+  Spec.Layers.push_back(pool("pool" + std::to_string(G), 2, 2));
+  return Spec;
+}
+
+ModelSpec models::lenet() {
+  ModelSpec Spec;
+  Spec.Name = "LeNet";
+  Spec.InputDims = Shape{1, 28, 28};
+  Spec.NumClasses = 10;
+  Spec.Layers = {
+      conv("conv1", 20, 5, 1, 0), pool("pool1", 2, 2),
+      conv("conv2", 50, 5, 1, 0), pool("pool2", 2, 2),
+      fc("fc1", 500),             relu("relu1"),
+  };
+  return Spec;
+}
+
+ModelSpec models::mlp(int64_t InputSize, std::vector<int64_t> HiddenWidths,
+                      int64_t NumClasses) {
+  ModelSpec Spec;
+  Spec.Name = "MLP";
+  Spec.InputDims = Shape{InputSize};
+  Spec.NumClasses = NumClasses;
+  for (size_t I = 0; I < HiddenWidths.size(); ++I) {
+    Spec.Layers.push_back(
+        fc("ip" + std::to_string(I + 1), HiddenWidths[I]));
+    Spec.Layers.push_back(tanhL("tanh" + std::to_string(I + 1)));
+  }
+  return Spec;
+}
+
+core::Ensemble *models::buildLatte(core::Net &Net, const ModelSpec &Spec,
+                                   bool WithLoss) {
+  using namespace latte::layers;
+  core::Ensemble *Cur = DataLayer(Net, "data", Spec.InputDims);
+  for (const LayerSpec &L : Spec.Layers) {
+    switch (L.K) {
+    case LayerSpec::Kind::Conv:
+      Cur = ConvolutionLayer(Net, L.Name, Cur, L.Filters, L.Kernel, L.Stride,
+                             L.Pad);
+      break;
+    case LayerSpec::Kind::MaxPool:
+      Cur = MaxPoolingLayer(Net, L.Name, Cur, L.Kernel, L.Stride, L.Pad);
+      break;
+    case LayerSpec::Kind::AvgPool:
+      Cur = AvgPoolingLayer(Net, L.Name, Cur, L.Kernel, L.Stride, L.Pad);
+      break;
+    case LayerSpec::Kind::Relu:
+      Cur = ReluLayer(Net, L.Name, Cur);
+      break;
+    case LayerSpec::Kind::Tanh:
+      Cur = TanhLayer(Net, L.Name, Cur);
+      break;
+    case LayerSpec::Kind::Fc:
+      Cur = FullyConnectedLayer(Net, L.Name, Cur, L.Filters);
+      break;
+    case LayerSpec::Kind::Dropout:
+      Cur = DropoutLayer(Net, L.Name, Cur, L.KeepProb);
+      break;
+    }
+  }
+  Cur = FullyConnectedLayer(Net, "classifier", Cur, Spec.NumClasses);
+  if (!WithLoss)
+    return Cur;
+  core::Ensemble *Labels = LabelLayer(Net, "labels");
+  return SoftmaxLossLayer(Net, "loss", Cur, Labels);
+}
+
+void models::buildCaffe(caffe::CaffeNet &Net, const ModelSpec &Spec,
+                        bool WithLoss) {
+  using namespace latte::caffe;
+  Net.setInputShape(Spec.InputDims);
+  for (const LayerSpec &L : Spec.Layers) {
+    switch (L.K) {
+    case LayerSpec::Kind::Conv:
+      Net.addLayer(std::make_unique<ConvolutionLayer>(L.Name, L.Filters,
+                                                      L.Kernel, L.Stride,
+                                                      L.Pad));
+      break;
+    case LayerSpec::Kind::MaxPool:
+      Net.addLayer(std::make_unique<PoolingLayer>(
+          L.Name, PoolingLayer::Mode::Max, L.Kernel, L.Stride, L.Pad));
+      break;
+    case LayerSpec::Kind::AvgPool:
+      Net.addLayer(std::make_unique<PoolingLayer>(
+          L.Name, PoolingLayer::Mode::Avg, L.Kernel, L.Stride, L.Pad));
+      break;
+    case LayerSpec::Kind::Relu:
+      Net.addLayer(std::make_unique<ReluLayer>(L.Name));
+      break;
+    case LayerSpec::Kind::Tanh:
+    case LayerSpec::Kind::Dropout:
+      reportFatalError("layer kind unsupported by the Caffe baseline: " +
+                       L.Name);
+    case LayerSpec::Kind::Fc:
+      Net.addLayer(std::make_unique<InnerProductLayer>(L.Name, L.Filters));
+      break;
+    }
+  }
+  Net.addLayer(
+      std::make_unique<InnerProductLayer>("classifier", Spec.NumClasses));
+  if (WithLoss) {
+    Net.enableLabels();
+    Net.addLayer(std::make_unique<SoftmaxLossLayer>("loss"));
+  }
+}
+
+void models::buildMocha(caffe::CaffeNet &Net, const ModelSpec &Spec,
+                        bool WithLoss) {
+  using namespace latte::mocha;
+  Net.setInputShape(Spec.InputDims);
+  for (const LayerSpec &L : Spec.Layers) {
+    switch (L.K) {
+    case LayerSpec::Kind::Conv:
+      Net.addLayer(std::make_unique<NaiveConvolutionLayer>(
+          L.Name, L.Filters, L.Kernel, L.Stride, L.Pad));
+      break;
+    case LayerSpec::Kind::MaxPool:
+      Net.addLayer(std::make_unique<NaiveMaxPoolingLayer>(L.Name, L.Kernel,
+                                                          L.Stride, L.Pad));
+      break;
+    case LayerSpec::Kind::Relu:
+      Net.addLayer(std::make_unique<NaiveReluLayer>(L.Name));
+      break;
+    case LayerSpec::Kind::Fc:
+      Net.addLayer(
+          std::make_unique<NaiveInnerProductLayer>(L.Name, L.Filters));
+      break;
+    case LayerSpec::Kind::AvgPool:
+    case LayerSpec::Kind::Tanh:
+    case LayerSpec::Kind::Dropout:
+      reportFatalError("layer kind unsupported by the Mocha baseline: " +
+                       L.Name);
+    }
+  }
+  Net.addLayer(
+      std::make_unique<NaiveInnerProductLayer>("classifier",
+                                               Spec.NumClasses));
+  if (WithLoss) {
+    Net.enableLabels();
+    Net.addLayer(std::make_unique<caffe::SoftmaxLossLayer>("loss"));
+  }
+}

@@ -1,0 +1,83 @@
+//===- runtime/accelerator.h - Heterogeneous scheduling --------*- C++ -*-===//
+///
+/// \file
+/// The intra-node accelerator runtime of §6.1. Physical Xeon Phi cards are
+/// unavailable, so the *device* is a model (compute rate relative to the
+/// host, PCIe bandwidth), but all the runtime logic the paper describes is
+/// real and under test: splitting each batch into chunks across host and
+/// devices, the linear-search chunk autotuner that grows device chunks
+/// until device and host times match, input double buffering that hides
+/// transfer latency after the first iteration, and the gradient-return
+/// cost that the paper observes limits Xeon Phi throughput.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_RUNTIME_ACCELERATOR_H
+#define LATTE_RUNTIME_ACCELERATOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace latte {
+namespace runtime {
+
+/// A coprocessor model.
+struct DeviceModel {
+  /// Images/second relative to the host (0.5 = half the host's rate).
+  double SpeedFactor = 0.5;
+  double PcieBytesPerSec = 6e9; ///< one direction
+  double LaunchOverheadSec = 50e-6;
+};
+
+struct HeterogeneousConfig {
+  std::vector<DeviceModel> Devices;
+  /// Host seconds to process one image (measured on the real engine).
+  double HostSecondsPerItem = 0.0;
+  int64_t BytesPerItem = 0;  ///< input transfer per image
+  int64_t GradBytes = 0;     ///< gradients returned per chunk
+  bool DoubleBuffering = true;
+  int64_t InitialChunk = 16; ///< the paper's starting chunk size
+};
+
+/// The per-iteration schedule the runtime chose.
+struct Schedule {
+  std::vector<int64_t> DeviceChunks; ///< images per device
+  int64_t HostItems = 0;
+};
+
+struct ThroughputResult {
+  double ItemsPerSecond = 0.0;
+  double IterSeconds = 0.0;
+  Schedule Chosen;
+};
+
+class HeterogeneousScheduler {
+public:
+  explicit HeterogeneousScheduler(HeterogeneousConfig Config);
+
+  /// Device seconds to compute \p Items images on device \p D.
+  double deviceComputeSeconds(int D, int64_t Items) const;
+  /// Transfer time for \p Bytes over PCIe to/from device \p D.
+  double transferSeconds(int D, int64_t Bytes) const;
+
+  /// The §6.1 linear search: start every device at InitialChunk and grow
+  /// chunks while the device's chunk time is below the host's time on the
+  /// remaining items. Runs once (at the start of training).
+  Schedule autotune(int64_t Batch) const;
+
+  /// Simulated wall time of one iteration under \p S. With double
+  /// buffering the next chunk's input transfer overlaps compute, so after
+  /// the first iteration only compute + gradient return are exposed.
+  double iterationSeconds(const Schedule &S, bool FirstIteration) const;
+
+  /// Steady-state throughput of one batch per iteration.
+  ThroughputResult throughput(int64_t Batch) const;
+
+private:
+  HeterogeneousConfig Config;
+};
+
+} // namespace runtime
+} // namespace latte
+
+#endif // LATTE_RUNTIME_ACCELERATOR_H

@@ -1,0 +1,162 @@
+//===- solvers/solvers.cpp ------------------------------------*- C++ -*-===//
+
+#include "solvers/solvers.h"
+
+#include "support/error.h"
+
+#include <cmath>
+
+using namespace latte;
+using namespace latte::solvers;
+
+LRPolicy LRPolicy::fixed(double Base) {
+  LRPolicy P;
+  P.K = Kind::Fixed;
+  P.Base = Base;
+  return P;
+}
+
+LRPolicy LRPolicy::inv(double Base, double Gamma, double Power) {
+  LRPolicy P;
+  P.K = Kind::Inv;
+  P.Base = Base;
+  P.Gamma = Gamma;
+  P.Power = Power;
+  return P;
+}
+
+LRPolicy LRPolicy::step(double Base, double Gamma, int64_t StepSize) {
+  LRPolicy P;
+  P.K = Kind::Step;
+  P.Base = Base;
+  P.Gamma = Gamma;
+  P.StepSize = StepSize;
+  return P;
+}
+
+LRPolicy LRPolicy::exp(double Base, double Gamma) {
+  LRPolicy P;
+  P.K = Kind::Exp;
+  P.Base = Base;
+  P.Gamma = Gamma;
+  return P;
+}
+
+double LRPolicy::at(int64_t Iter) const {
+  switch (K) {
+  case Kind::Fixed:
+    return Base;
+  case Kind::Inv:
+    return Base * std::pow(1.0 + Gamma * static_cast<double>(Iter), -Power);
+  case Kind::Step:
+    return Base * std::pow(Gamma, static_cast<double>(Iter / StepSize));
+  case Kind::Exp:
+    return Base * std::pow(Gamma, static_cast<double>(Iter));
+  }
+  latteUnreachable("unknown LR policy kind");
+}
+
+Solver::~Solver() = default;
+
+void Solver::step(engine::Executor &Ex, int64_t Iter) {
+  double Lr = Params.Lr.at(Iter);
+  for (const compiler::ParamBinding &B : Ex.program().Params) {
+    float *Param = Ex.data(B.Param);
+    float *Grad = Ex.data(B.Grad);
+    int64_t Count = Ex.size(B.Param);
+
+    // L2 regularization folds into the gradient before the rule runs.
+    if (Params.ReguCoef != 0.0) {
+      float Coef = static_cast<float>(Params.ReguCoef);
+      for (int64_t I = 0; I < Count; ++I)
+        Grad[I] += Coef * Param[I];
+    }
+
+    float *H1 = nullptr, *H2 = nullptr;
+    if (historyCount() >= 1) {
+      auto It = History.find(B.Param);
+      if (It == History.end())
+        It = History.emplace(B.Param, Tensor(Shape{Count})).first;
+      H1 = It->second.data();
+    }
+    if (historyCount() >= 2) {
+      auto It = History2.find(B.Param);
+      if (It == History2.end())
+        It = History2.emplace(B.Param, Tensor(Shape{Count})).first;
+      H2 = It->second.data();
+    }
+    update(Param, Grad, H1, H2, Count, Lr * B.LrMult);
+  }
+}
+
+void SgdSolver::update(float *Param, const float *Grad, float *History,
+                       float *, int64_t Count, double Lr) {
+  const float Mom = static_cast<float>(Params.Momentum.Value);
+  const float Rate = static_cast<float>(Lr);
+  for (int64_t I = 0; I < Count; ++I) {
+    History[I] = Mom * History[I] - Rate * Grad[I];
+    Param[I] += History[I];
+  }
+}
+
+void RmsPropSolver::update(float *Param, const float *Grad, float *History,
+                           float *, int64_t Count, double Lr) {
+  const float D = static_cast<float>(Decay);
+  const float E = static_cast<float>(Eps);
+  const float Rate = static_cast<float>(Lr);
+  for (int64_t I = 0; I < Count; ++I) {
+    History[I] = D * History[I] + (1.0f - D) * Grad[I] * Grad[I];
+    Param[I] -= Rate * Grad[I] / std::sqrt(History[I] + E);
+  }
+}
+
+void AdaGradSolver::update(float *Param, const float *Grad, float *History,
+                           float *, int64_t Count, double Lr) {
+  const float E = static_cast<float>(Eps);
+  const float Rate = static_cast<float>(Lr);
+  for (int64_t I = 0; I < Count; ++I) {
+    History[I] += Grad[I] * Grad[I];
+    Param[I] -= Rate * Grad[I] / std::sqrt(History[I] + E);
+  }
+}
+
+void AdaDeltaSolver::update(float *Param, const float *Grad, float *History,
+                            float *History2, int64_t Count, double) {
+  const float D = static_cast<float>(Decay);
+  const float E = static_cast<float>(Eps);
+  for (int64_t I = 0; I < Count; ++I) {
+    History[I] = D * History[I] + (1.0f - D) * Grad[I] * Grad[I];
+    float Update = -std::sqrt((History2[I] + E) / (History[I] + E)) * Grad[I];
+    History2[I] = D * History2[I] + (1.0f - D) * Update * Update;
+    Param[I] += Update;
+  }
+}
+
+TrainStats solvers::solve(Solver &S, engine::Executor &Ex,
+                          const BatchProvider &Batches,
+                          const ProgressFn &Progress) {
+  const compiler::Program &Prog = Ex.program();
+  if (Prog.DataBuffer.empty() || Prog.LabelBuffer.empty())
+    reportFatalError("solve() requires a network with data and label "
+                     "ensembles");
+  Tensor Data(Ex.shape(Prog.DataBuffer));
+  Tensor Labels(Ex.shape(Prog.LabelBuffer));
+
+  TrainStats Stats;
+  for (int64_t Iter = 0; Iter < S.params().MaxIters; ++Iter) {
+    Batches(Iter, Data, Labels);
+    Ex.setInput(Data);
+    Ex.setLabels(Labels);
+    Ex.forward();
+    Ex.backward();
+    S.step(Ex, Iter);
+
+    Stats.Iter = Iter;
+    Stats.Loss = Ex.lossValue();
+    Stats.Accuracy = Ex.accuracy();
+    Stats.LearningRate = S.params().Lr.at(Iter);
+    if (Progress)
+      Progress(Stats);
+  }
+  return Stats;
+}

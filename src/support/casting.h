@@ -1,0 +1,51 @@
+//===- support/casting.h - LLVM-style isa/cast/dyn_cast -------*- C++ -*-===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style. A class hierarchy opts in by exposing
+/// a `Kind` discriminator and a static `classof(const Base *)` predicate on
+/// each subclass; `isa<>`, `cast<>`, and `dyn_cast<>` then work as in LLVM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_SUPPORT_CASTING_H
+#define LATTE_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace latte {
+
+/// Returns true if \p Val is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast<> but tolerates a null argument (propagating it).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace latte
+
+#endif // LATTE_SUPPORT_CASTING_H

@@ -1,0 +1,22 @@
+//===- support/error.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace latte;
+
+void latte::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "latte fatal error: %s\n", Message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void latte::latteUnreachableImpl(const char *Message, const char *File,
+                                 unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line,
+               Message ? Message : "");
+  std::fflush(stderr);
+  std::abort();
+}

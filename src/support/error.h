@@ -1,0 +1,33 @@
+//===- support/error.h - Fatal errors and unreachable markers -*- C++ -*-===//
+///
+/// \file
+/// Minimal error-handling utilities. The library does not use exceptions;
+/// programmatic errors abort via assert / latteUnreachable, and user-input
+/// errors (bad files, bad layer configs) abort with a diagnostic through
+/// reportFatalError.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_SUPPORT_ERROR_H
+#define LATTE_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace latte {
+
+/// Prints "latte fatal error: <message>" to stderr and aborts. Used for
+/// unrecoverable errors triggered by user input (malformed files, impossible
+/// network configurations).
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Marks a point in the code that program invariants guarantee is never
+/// reached. Aborts with \p Message when reached anyway.
+[[noreturn]] void latteUnreachableImpl(const char *Message, const char *File,
+                                       unsigned Line);
+
+#define latteUnreachable(MSG)                                                  \
+  ::latte::latteUnreachableImpl(MSG, __FILE__, __LINE__)
+
+} // namespace latte
+
+#endif // LATTE_SUPPORT_ERROR_H

@@ -1,0 +1,38 @@
+//===- support/ltd_format.h - Latte tensor data files ---------*- C++ -*-===//
+///
+/// \file
+/// The .ltd ("Latte Tensor Data") format is the repository's stand-in for
+/// the HDF5 files the paper's HDF5DataLayer reads. A file holds a sequence
+/// of named float32 tensors:
+///
+///   magic "LTD1" | u32 count | { u32 nameLen | name bytes |
+///                                u32 rank | i64 dims[rank] | f32 data[] }*
+///
+/// All integers are little-endian.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_SUPPORT_LTD_FORMAT_H
+#define LATTE_SUPPORT_LTD_FORMAT_H
+
+#include "support/tensor.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace latte {
+
+/// Writes \p Tensors (name/tensor pairs) to \p Path. Returns false (after
+/// printing a diagnostic) on I/O failure.
+bool writeLtdFile(const std::string &Path,
+                  const std::vector<std::pair<std::string, Tensor>> &Tensors);
+
+/// Reads all tensors from \p Path. Calls reportFatalError on malformed input
+/// (the paper's data layer likewise treats unreadable input as fatal).
+std::vector<std::pair<std::string, Tensor>>
+readLtdFile(const std::string &Path);
+
+} // namespace latte
+
+#endif // LATTE_SUPPORT_LTD_FORMAT_H

@@ -1,0 +1,62 @@
+//===- support/rng.cpp ----------------------------------------*- C++ -*-===//
+
+#include "support/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace latte;
+
+uint64_t Rng::next() {
+  // splitmix64: tiny, fast, and statistically solid for our purposes.
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "uniform bounds reversed");
+  return Lo + (Hi - Lo) * uniform();
+}
+
+int64_t Rng::uniformInt(int64_t N) {
+  assert(N > 0 && "uniformInt requires a positive bound");
+  return static_cast<int64_t>(next() % static_cast<uint64_t>(N));
+}
+
+double Rng::gaussian() {
+  if (HasSpare) {
+    HasSpare = false;
+    return Spare;
+  }
+  double U1 = uniform(), U2 = uniform();
+  if (U1 < 1e-300)
+    U1 = 1e-300;
+  double R = std::sqrt(-2.0 * std::log(U1));
+  double Theta = 2.0 * M_PI * U2;
+  Spare = R * std::sin(Theta);
+  HasSpare = true;
+  return R * std::cos(Theta);
+}
+
+void Rng::fillUniform(Tensor &T, float Lo, float Hi) {
+  for (int64_t I = 0, E = T.numElements(); I != E; ++I)
+    T.at(I) = static_cast<float>(uniform(Lo, Hi));
+}
+
+void Rng::fillGaussian(Tensor &T, float Mean, float Stddev) {
+  for (int64_t I = 0, E = T.numElements(); I != E; ++I)
+    T.at(I) = static_cast<float>(gaussian(Mean, Stddev));
+}
+
+void Rng::fillXavier(Tensor &T, int64_t FanIn) {
+  assert(FanIn > 0 && "Xavier init requires positive fan-in");
+  float Bound = std::sqrt(3.0f / static_cast<float>(FanIn));
+  fillUniform(T, -Bound, Bound);
+}

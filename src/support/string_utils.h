@@ -1,0 +1,39 @@
+//===- support/string_utils.h - Small string helpers ----------*- C++ -*-===//
+///
+/// \file
+/// String helpers used by the AST printer, the C++ code generator, and the
+/// benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_SUPPORT_STRING_UTILS_H
+#define LATTE_SUPPORT_STRING_UTILS_H
+
+#include <string>
+#include <vector>
+
+namespace latte {
+
+/// Joins \p Parts with \p Sep between elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Splits \p Text on \p Sep; empty fields are preserved.
+std::vector<std::string> split(const std::string &Text, char Sep);
+
+/// Returns true when \p Text begins with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+/// Returns true when \p Text contains \p Needle.
+bool contains(const std::string &Text, const std::string &Needle);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string trim(const std::string &Text);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace latte
+
+#endif // LATTE_SUPPORT_STRING_UTILS_H

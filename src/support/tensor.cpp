@@ -1,0 +1,58 @@
+//===- support/tensor.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+using namespace latte;
+
+Tensor::Tensor(Shape Shape) : Dims(std::move(Shape)) {
+  int64_t N = Dims.numElements();
+  if (N == 0)
+    return;
+  auto *Raw = static_cast<float *>(
+      ::operator new[](static_cast<size_t>(N) * sizeof(float), Alignment));
+  Storage.reset(Raw);
+  std::memset(Storage.get(), 0, static_cast<size_t>(N) * sizeof(float));
+}
+
+Tensor::Tensor(const Tensor &Other) : Tensor(Other.Dims) {
+  if (!Other.empty())
+    std::memcpy(Storage.get(), Other.Storage.get(),
+                static_cast<size_t>(numElements()) * sizeof(float));
+}
+
+Tensor &Tensor::operator=(const Tensor &Other) {
+  if (this == &Other)
+    return *this;
+  Tensor Copy(Other);
+  *this = std::move(Copy);
+  return *this;
+}
+
+void Tensor::fill(float Value) {
+  if (empty())
+    return;
+  std::fill_n(Storage.get(), numElements(), Value);
+}
+
+void Tensor::reshape(const Shape &NewShape) {
+  assert(NewShape.numElements() == Dims.numElements() &&
+         "reshape must preserve element count");
+  Dims = NewShape;
+}
+
+int64_t Tensor::firstMismatch(const Tensor &Other, float AbsTol,
+                              float RelTol) const {
+  assert(numElements() == Other.numElements() &&
+         "mismatch comparison requires equal element counts");
+  for (int64_t I = 0, E = numElements(); I != E; ++I) {
+    float A = at(I), B = Other.at(I);
+    float Tol = AbsTol + RelTol * std::max(std::fabs(A), std::fabs(B));
+    if (std::fabs(A - B) > Tol || std::isnan(A) != std::isnan(B))
+      return I;
+  }
+  return -1;
+}

@@ -1,0 +1,84 @@
+//===- support/tensor.h - Aligned float tensors ----------------*- C++ -*-===//
+///
+/// \file
+/// Tensor is the single numeric storage type used throughout Latte: a
+/// row-major float32 array with 64-byte-aligned storage (so vectorized
+/// kernels can use aligned loads). All ensemble values, gradients, and
+/// parameters live in Tensors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_SUPPORT_TENSOR_H
+#define LATTE_SUPPORT_TENSOR_H
+
+#include "support/shape.h"
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+
+namespace latte {
+
+class Tensor {
+public:
+  Tensor() = default;
+
+  /// Allocates zero-initialized storage for \p Shape.
+  explicit Tensor(Shape Shape);
+
+  Tensor(const Tensor &Other);
+  Tensor &operator=(const Tensor &Other);
+  Tensor(Tensor &&Other) noexcept = default;
+  Tensor &operator=(Tensor &&Other) noexcept = default;
+
+  const Shape &shape() const { return Dims; }
+  int64_t numElements() const { return Dims.numElements(); }
+  bool empty() const { return numElements() == 0 || !Storage; }
+
+  float *data() { return Storage.get(); }
+  const float *data() const { return Storage.get(); }
+
+  float &at(int64_t I) {
+    assert(I >= 0 && I < numElements() && "tensor index out of range");
+    return Storage.get()[I];
+  }
+  float at(int64_t I) const {
+    assert(I >= 0 && I < numElements() && "tensor index out of range");
+    return Storage.get()[I];
+  }
+
+  /// Multi-index accessor (row-major).
+  float &at(const std::vector<int64_t> &Index) {
+    return at(Dims.linearize(Index));
+  }
+  float at(const std::vector<int64_t> &Index) const {
+    return at(Dims.linearize(Index));
+  }
+
+  /// Sets every element to \p Value.
+  void fill(float Value);
+
+  /// Sets every element to zero.
+  void zero() { fill(0.0f); }
+
+  /// Reinterprets the storage with a new shape of identical element count.
+  void reshape(const Shape &NewShape);
+
+  /// Element-wise comparison with absolute tolerance; returns the index of
+  /// the first mismatch or -1 when all elements agree.
+  int64_t firstMismatch(const Tensor &Other, float AbsTol,
+                        float RelTol = 0.0f) const;
+
+private:
+  struct AlignedDeleter {
+    void operator()(float *Ptr) const { ::operator delete[](Ptr, Alignment); }
+  };
+  static constexpr std::align_val_t Alignment{64};
+
+  Shape Dims;
+  std::unique_ptr<float[], AlignedDeleter> Storage;
+};
+
+} // namespace latte
+
+#endif // LATTE_SUPPORT_TENSOR_H

@@ -1,0 +1,85 @@
+//===- support/thread_pool.cpp --------------------------------*- C++ -*-===//
+
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace latte;
+
+ThreadPool::ThreadPool(int NumThreads) {
+  if (NumThreads <= 0)
+    NumThreads = std::max(1u, std::thread::hardware_concurrency());
+  // The calling thread counts as worker 0; spawn NumThreads-1 helpers.
+  for (int I = 1; I < NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop(int WorkerIndex) {
+  uint64_t SeenEpoch = 0;
+  while (true) {
+    std::function<void(int)> Fn;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorkers.wait(
+          Lock, [&] { return ShuttingDown || Epoch != SeenEpoch; });
+      if (ShuttingDown)
+        return;
+      SeenEpoch = Epoch;
+      Fn = Current;
+    }
+    Fn(WorkerIndex);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Remaining == 0)
+        JobDone.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallelRun(const std::function<void(int)> &Fn) {
+  if (Workers.empty()) {
+    Fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Current = Fn;
+    Remaining = static_cast<int>(Workers.size());
+    ++Epoch;
+  }
+  WakeWorkers.notify_all();
+  Fn(0);
+  std::unique_lock<std::mutex> Lock(Mutex);
+  JobDone.wait(Lock, [&] { return Remaining == 0; });
+}
+
+void ThreadPool::parallelFor(int64_t N,
+                             const std::function<void(int64_t)> &Fn) {
+  if (N <= 0)
+    return;
+  int T = numThreads();
+  if (T == 1 || N == 1) {
+    for (int64_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  parallelRun([&, N, T](int ThreadIndex) {
+    // Static contiguous partition of [0, N).
+    int64_t Chunk = (N + T - 1) / T;
+    int64_t Begin = ThreadIndex * Chunk;
+    int64_t End = std::min<int64_t>(N, Begin + Chunk);
+    for (int64_t I = Begin; I < End; ++I)
+      Fn(I);
+  });
+}

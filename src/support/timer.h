@@ -1,0 +1,54 @@
+//===- support/timer.h - Wall-clock timing ---------------------*- C++ -*-===//
+///
+/// \file
+/// Wall-clock timer used by the benchmark harnesses and the runtime's chunk
+/// autotuner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_SUPPORT_TIMER_H
+#define LATTE_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace latte {
+
+class Timer {
+public:
+  Timer() { reset(); }
+
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Runs \p Fn repeatedly and returns the best (minimum) wall time in seconds
+/// over \p Reps repetitions, after \p Warmup unmeasured calls. Benchmarks use
+/// min-of-N to suppress scheduling noise.
+template <typename Callable>
+double bestWallTime(Callable &&Fn, int Reps = 3, int Warmup = 1) {
+  for (int I = 0; I < Warmup; ++I)
+    Fn();
+  double Best = 1e100;
+  for (int I = 0; I < Reps; ++I) {
+    Timer T;
+    Fn();
+    double S = T.seconds();
+    if (S < Best)
+      Best = S;
+  }
+  return Best;
+}
+
+} // namespace latte
+
+#endif // LATTE_SUPPORT_TIMER_H

@@ -1,0 +1,144 @@
+//===- tests/compiler/analysis_test.cpp -----------------------*- C++ -*-===//
+///
+/// Shared-variable analysis (§5.2): probing mapping functions recovers
+/// shared dimensions, window structure, and one-to-one identities.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/analysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace latte;
+using namespace latte::compiler;
+using namespace latte::core;
+
+namespace {
+
+Connection makeConn(MappingFn Fn) {
+  Connection C;
+  C.Mapping = std::move(Fn);
+  return C;
+}
+
+} // namespace
+
+TEST(AnalysisTest, FullyConnectedIsFullyShared) {
+  Shape Src{30};
+  Connection C = makeConn(fullyConnectedMapping(Src));
+  ConnectionInfo Info = analyzeConnection(C, Shape{10});
+  EXPECT_TRUE(Info.FullyShared);
+  EXPECT_TRUE(Info.SharedDims[0]);
+  EXPECT_EQ(Info.WindowVolume, 30);
+  EXPECT_FALSE(Info.OneToOne);
+  EXPECT_TRUE(Info.Linear);
+}
+
+TEST(AnalysisTest, OneToOne) {
+  Connection C = makeConn(oneToOneMapping());
+  ConnectionInfo Info = analyzeConnection(C, Shape{4, 5, 6});
+  EXPECT_TRUE(Info.OneToOne);
+  EXPECT_EQ(Info.WindowVolume, 1);
+  EXPECT_FALSE(Info.FullyShared);
+  for (bool S : Info.SharedDims)
+    EXPECT_FALSE(S);
+}
+
+TEST(AnalysisTest, ConvWindowSharesChannelDim) {
+  // 3 input channels, 3x3 kernel, stride 1, pad 1 over a (8, 10, 10) sink.
+  Connection C = makeConn(convWindowMapping(3, 3, 1, 1));
+  ConnectionInfo Info = analyzeConnection(C, Shape{8, 10, 10});
+  ASSERT_EQ(Info.SharedDims.size(), 3u);
+  EXPECT_TRUE(Info.SharedDims[0]);  // independent of output channel
+  EXPECT_FALSE(Info.SharedDims[1]); // slides in y
+  EXPECT_FALSE(Info.SharedDims[2]); // slides in x
+  EXPECT_EQ(Info.WindowVolume, 3 * 3 * 3);
+  EXPECT_EQ(Info.Strides[1][1], 1); // y stride
+  EXPECT_EQ(Info.Strides[2][2], 1);
+  EXPECT_EQ(Info.Strides[1][2], 0); // y does not move x
+  EXPECT_EQ(Info.BaseBox[1].Begin, -1); // padding
+  EXPECT_TRUE(Info.Linear);
+}
+
+TEST(AnalysisTest, StridedConvWindow) {
+  Connection C = makeConn(convWindowMapping(3, 11, 4, 0));
+  ConnectionInfo Info = analyzeConnection(C, Shape{96, 54, 54});
+  EXPECT_EQ(Info.Strides[1][1], 4);
+  EXPECT_EQ(Info.Strides[2][2], 4);
+  EXPECT_EQ(Info.WindowSizes[1], 11);
+  EXPECT_EQ(Info.BaseBox[1].Begin, 0);
+}
+
+TEST(AnalysisTest, PoolWindowSharesNothing) {
+  Connection C = makeConn(poolWindowMapping(2, 2, 0));
+  ConnectionInfo Info = analyzeConnection(C, Shape{16, 5, 5});
+  EXPECT_FALSE(Info.SharedDims[0]); // channel moves with the sink channel
+  EXPECT_EQ(Info.Strides[0][0], 1);
+  EXPECT_EQ(Info.WindowSizes[0], 1);
+  EXPECT_EQ(Info.Strides[1][1], 2);
+  EXPECT_EQ(Info.WindowSizes[1], 2);
+  EXPECT_EQ(Info.WindowVolume, 4);
+}
+
+TEST(AnalysisTest, NonLinearMappingDetected) {
+  Connection C = makeConn([](const std::vector<int64_t> &Sink) {
+    int64_t Q = Sink[0] * Sink[0]; // quadratic motion
+    return std::vector<Range>{{Q, Q + 1}};
+  });
+  ConnectionInfo Info = analyzeConnection(C, Shape{10});
+  EXPECT_FALSE(Info.Linear);
+}
+
+TEST(AnalysisTest, SingletonDimsAreShared) {
+  Connection C = makeConn(fullyConnectedMapping(Shape{7}));
+  ConnectionInfo Info = analyzeConnection(C, Shape{1});
+  EXPECT_TRUE(Info.FullyShared);
+}
+
+TEST(AnalysisDeathTest, NonUniformWindowIsFatal) {
+  Connection C = makeConn([](const std::vector<int64_t> &Sink) {
+    // Window volume grows with the index: not a homogeneous ensemble.
+    return std::vector<Range>{{0, 1 + Sink[0]}};
+  });
+  EXPECT_DEATH(analyzeConnection(C, Shape{5}), "window size varies");
+}
+
+TEST(AnalysisTest, FieldMapIdentityDefault) {
+  FieldStorage S;
+  S.StorageDims = Shape{4, 5};
+  FieldMapInfo Info = analyzeFieldMap(S, Shape{4, 5});
+  EXPECT_TRUE(Info.IsProjection);
+  EXPECT_EQ(Info.DimSelectors, (std::vector<int>{0, 1}));
+}
+
+TEST(AnalysisTest, FieldMapChannelProjection) {
+  FieldStorage S;
+  S.StorageDims = Shape{8};
+  S.Map = [](const std::vector<int64_t> &Sink) {
+    return std::vector<int64_t>{Sink[0]};
+  };
+  FieldMapInfo Info = analyzeFieldMap(S, Shape{8, 6, 6});
+  EXPECT_TRUE(Info.IsProjection);
+  EXPECT_EQ(Info.DimSelectors, (std::vector<int>{0}));
+}
+
+TEST(AnalysisTest, FieldMapBroadcastConstant) {
+  FieldStorage S;
+  S.StorageDims = Shape{1};
+  S.Map = [](const std::vector<int64_t> &) {
+    return std::vector<int64_t>{0};
+  };
+  FieldMapInfo Info = analyzeFieldMap(S, Shape{8, 6, 6});
+  EXPECT_TRUE(Info.IsProjection);
+  EXPECT_EQ(Info.DimSelectors, (std::vector<int>{-1}));
+}
+
+TEST(AnalysisTest, FieldMapNonProjectionRejected) {
+  FieldStorage S;
+  S.StorageDims = Shape{8};
+  S.Map = [](const std::vector<int64_t> &Sink) {
+    return std::vector<int64_t>{Sink[0] / 2}; // stride-2 projection
+  };
+  FieldMapInfo Info = analyzeFieldMap(S, Shape{8, 6, 6});
+  EXPECT_FALSE(Info.IsProjection);
+}

@@ -1,0 +1,190 @@
+//===- tests/compiler/fidelity_test.cpp -----------------------*- C++ -*-===//
+///
+/// Paper-fidelity tests: a hand-written Figure 5 mapping function (not
+/// the library helper) is recognized by analysis and pattern-matched to
+/// GEMM; the C++ backend emits correct code for interpreted (custom
+/// neuron) programs; learning-rate multipliers flow from Param
+/// declarations to the solver.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/codegen_cpp.h"
+#include "compiler/compiler.h"
+#include "core/layers/layers.h"
+#include "engine/executor.h"
+#include "solvers/solvers.h"
+#include "support/ltd_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace latte;
+using namespace latte::compiler;
+using namespace latte::core;
+using namespace latte::engine;
+using namespace latte::layers;
+
+TEST(FidelityTest, HandWrittenFigure5MappingIsMatched) {
+  // A user writes the Figure 5 mapping directly as a lambda instead of
+  // using the library helper; probing-based analysis recovers the same
+  // structure and the ensemble still lowers to GEMM.
+  const int64_t Channels = 2, Kernel = 3, Stride = 1, Pad = 1;
+  Net Net(1);
+  Ensemble *Data = DataLayer(Net, "data", Shape{Channels, 8, 8});
+  const NeuronType *T = standardType(Net, "WeightedNeuron");
+  Ensemble *Conv = Net.addEnsemble("conv", Shape{4, 8, 8}, T);
+  FieldStorage Weights;
+  Weights.StorageDims = Shape{4};
+  Weights.ElemDims = Shape{Channels * Kernel * Kernel};
+  Weights.Map = [](const std::vector<int64_t> &Sink) {
+    return std::vector<int64_t>{Sink[0]};
+  };
+  Weights.Init = FieldInitKind::Xavier;
+  Weights.FanIn = Channels * Kernel * Kernel;
+  Conv->setFieldStorage("weights", std::move(Weights));
+  FieldStorage Bias;
+  Bias.StorageDims = Shape{4};
+  Bias.ElemDims = Shape{1};
+  Bias.Map = [](const std::vector<int64_t> &Sink) {
+    return std::vector<int64_t>{Sink[0]};
+  };
+  Conv->setFieldStorage("bias", std::move(Bias));
+
+  // Figure 5, 0-based: in_x = x*stride - pad; window covers all channels.
+  Net.addConnections(Data, Conv, [=](const std::vector<int64_t> &Index) {
+    int64_t InY = Index[1] * Stride - Pad;
+    int64_t InX = Index[2] * Stride - Pad;
+    return std::vector<Range>{{0, Channels},
+                              {InY, InY + Kernel},
+                              {InX, InX + Kernel}};
+  });
+
+  Program P = compile(Net);
+  EXPECT_TRUE(P.Report.gemmMatched("conv"));
+  EXPECT_TRUE(P.Report.InterpretedEnsembles.empty());
+
+  // And it agrees numerically with the library-built equivalent.
+  core::Net Ref(1);
+  Ensemble *RData = DataLayer(Ref, "data", Shape{Channels, 8, 8});
+  ConvolutionLayer(Ref, "conv", RData, 4, Kernel, Stride, Pad);
+  Executor A(std::move(P)), B(compile(Ref));
+  A.initParams(5);
+  B.initParams(5);
+  Rng R(77);
+  Tensor In(Shape{1, Channels, 8, 8});
+  R.fillGaussian(In, 0.0f, 1.0f);
+  A.setInput(In);
+  B.setInput(In);
+  B.writeBuffer("conv_weights", A.readBuffer("conv_weights"));
+  B.writeBuffer("conv_bias", A.readBuffer("conv_bias"));
+  A.forward();
+  B.forward();
+  EXPECT_EQ(A.readBuffer("conv_value")
+                .firstMismatch(B.readBuffer("conv_value"), 1e-5f, 1e-4f),
+            -1);
+}
+
+TEST(FidelityTest, CodegenHandlesInterpretedNeurons) {
+  // A PReLU (no pattern matches it) goes through the synthesized SoA loop
+  // nests; the C++ backend must emit those loops and agree with the
+  // engine.
+  Net Net(2);
+  Ensemble *Data = DataLayer(Net, "data", Shape{5});
+  Ensemble *Fc = FullyConnectedLayer(Net, "fc", Data, 6);
+  Ensemble *Act = PReluLayer(Net, "prelu", Fc);
+  Ensemble *Out = FullyConnectedLayer(Net, "out", Act, 3);
+  Ensemble *Labels = LabelLayer(Net, "labels");
+  SoftmaxLossLayer(Net, "loss", Out, Labels);
+  Program P = compile(Net);
+  ASSERT_FALSE(P.Report.InterpretedEnsembles.empty());
+
+  Executor Ex(compile(Net));
+  Ex.initParams(99);
+  Rng R(3);
+  Tensor In(Shape{2, 5});
+  R.fillGaussian(In, 0.0f, 1.0f);
+  Ex.setInput(In);
+  Tensor L(Shape{2, 1});
+  L.at(0) = 2.0f;
+  Ex.setLabels(L);
+  Ex.forward();
+  Ex.backward();
+
+  std::string Dir = testing::TempDir();
+  std::string SrcPath = Dir + "/latte_interp.cpp";
+  std::string BinPath = Dir + "/latte_interp_bin";
+  std::string InPath = Dir + "/latte_interp_in.ltd";
+  std::string OutPath = Dir + "/latte_interp_out.ltd";
+  ASSERT_TRUE(writeGeneratedProgram(P, SrcPath));
+
+  std::vector<std::pair<std::string, Tensor>> Inputs;
+  Inputs.emplace_back("data_value", In);
+  Tensor Lab(Shape{2});
+  Lab.at(0) = 2.0f;
+  Inputs.emplace_back("labels_value", Lab);
+  for (const BufferInfo &B : P.Buffers)
+    if (B.Role == BufferRole::Param)
+      Inputs.emplace_back(B.Name, Ex.readBuffer(B.Name));
+  ASSERT_TRUE(writeLtdFile(InPath, Inputs));
+
+  ASSERT_EQ(std::system(("g++ -O2 -fopenmp -o " + BinPath + " " + SrcPath +
+                         " 2>" + Dir + "/latte_interp_err.txt")
+                            .c_str()),
+            0);
+  ASSERT_EQ(std::system(
+                (BinPath + " " + InPath + " " + OutPath + " fwdbwd").c_str()),
+            0);
+  auto Outputs = readLtdFile(OutPath);
+  for (const char *Buf : {"prelu_value", "prelu_grad_slope",
+                          "fc_grad_weights", "loss_loss"}) {
+    const Tensor *Gen = nullptr;
+    for (const auto &[Name, T] : Outputs)
+      if (Name == Buf)
+        Gen = &T;
+    ASSERT_NE(Gen, nullptr) << Buf;
+    Tensor Ref = Ex.readBuffer(Buf);
+    EXPECT_EQ(Ref.firstMismatch(*Gen, 1e-4f, 1e-3f), -1) << Buf;
+  }
+  std::remove(SrcPath.c_str());
+  std::remove(BinPath.c_str());
+  std::remove(InPath.c_str());
+  std::remove(OutPath.c_str());
+}
+
+TEST(FidelityTest, BiasLearningRateMultiplierReachesSolver) {
+  // Figure 4 declares Param(:weights, 1.0) and Param(:bias, 2.0); the
+  // WeightedNeuron field specs carry those multipliers into the solver.
+  Net Net(2);
+  Ensemble *Data = DataLayer(Net, "data", Shape{3});
+  FullyConnectedLayer(Net, "fc", Data, 2);
+  Program P = compile(Net);
+  float WeightsMult = 0, BiasMult = 0;
+  for (const ParamBinding &B : P.Params) {
+    if (B.Param == "fc_weights")
+      WeightsMult = B.LrMult;
+    if (B.Param == "fc_bias")
+      BiasMult = B.LrMult;
+  }
+  EXPECT_FLOAT_EQ(WeightsMult, 1.0f);
+  EXPECT_FLOAT_EQ(BiasMult, 2.0f);
+
+  // An SGD step moves the bias twice as fast for equal gradients.
+  Executor Ex(std::move(P));
+  Ex.initParams(1);
+  Tensor G(Ex.shape("fc_grad_weights"));
+  G.fill(1.0f);
+  Ex.writeBuffer("fc_grad_weights", G);
+  Tensor Gb(Ex.shape("fc_grad_bias"));
+  Gb.fill(1.0f);
+  Ex.writeBuffer("fc_grad_bias", Gb);
+  Tensor W0 = Ex.readBuffer("fc_weights");
+  Tensor B0 = Ex.readBuffer("fc_bias");
+  solvers::SolverParameters SP;
+  SP.Lr = solvers::LRPolicy::fixed(0.1);
+  SP.Momentum = solvers::MomPolicy::fixed(0.0);
+  solvers::SgdSolver S(SP);
+  S.step(Ex, 0);
+  EXPECT_NEAR(Ex.readBuffer("fc_weights").at(0), W0.at(0) - 0.1f, 1e-6f);
+  EXPECT_NEAR(Ex.readBuffer("fc_bias").at(0), B0.at(0) - 0.2f, 1e-6f);
+}

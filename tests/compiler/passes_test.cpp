@@ -1,0 +1,225 @@
+//===- tests/compiler/passes_test.cpp -------------------------*- C++ -*-===//
+///
+/// Structural tests of the optimization pipeline: tiling plans, tile-size
+/// scaling under fusion (Figure 11), parallelization annotations
+/// (collapse(2), §5.4.3), fusion barriers around normalization ensembles
+/// (§5.5), and backward-pass fusion.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/compiler.h"
+#include "core/layers/layers.h"
+#include "ir/printer.h"
+#include "ir/visitor.h"
+
+#include <gtest/gtest.h>
+
+using namespace latte;
+using namespace latte::compiler;
+using namespace latte::core;
+using namespace latte::ir;
+using namespace latte::layers;
+
+namespace {
+
+/// Collects every TiledLoopStmt in a program in traversal order.
+std::vector<const TiledLoopStmt *> tiledLoops(const Stmt *Root) {
+  std::vector<const TiledLoopStmt *> Loops;
+  walkStmts(Root, [&](const Stmt *S) {
+    if (const auto *T = dyn_cast<TiledLoopStmt>(S))
+      Loops.push_back(T);
+  });
+  return Loops;
+}
+
+CompileOptions smallNetOpts() {
+  CompileOptions Opts;
+  Opts.TileSize = 4;
+  Opts.MinRowsToTile = 4;
+  return Opts;
+}
+
+} // namespace
+
+TEST(PassesTest, FusionScalesProducerTiles) {
+  // conv (Y=16) + relu + pool2 (Y=8): after fusion all three live in one
+  // tiled loop whose tile count comes from the pool and whose producer
+  // tile size is scaled by the dependence distance 2 (Figure 11).
+  Net Net(1);
+  Ensemble *Data = DataLayer(Net, "data", Shape{2, 16, 16});
+  Ensemble *Conv = ConvolutionLayer(Net, "conv", Data, 2, 3, 1, 1);
+  Ensemble *Relu = ReluLayer(Net, "relu", Conv);
+  MaxPoolingLayer(Net, "pool", Relu, 2, 2);
+  Program P = compile(Net, smallNetOpts());
+
+  std::vector<const TiledLoopStmt *> Fwd = tiledLoops(P.Forward.get());
+  ASSERT_EQ(Fwd.size(), 1u) << printStmt(P.Forward.get());
+  // Pool rows = 8, planned tile 4 -> 2 tiles; distance 2.
+  EXPECT_EQ(Fwd[0]->numTiles(), 2);
+  EXPECT_EQ(Fwd[0]->dependenceDistance(), 2);
+  // The fused body contains the conv GEMM, activation, and pooling kernels
+  // instantiated per tile: conv rows per tile = 16 / 2 = 8.
+  std::string Body = printStmt(Fwd[0]->body());
+  EXPECT_NE(Body.find("sgemm("), std::string::npos);
+  EXPECT_NE(Body.find("act_fwd("), std::string::npos);
+  EXPECT_NE(Body.find("max_pool_fwd("), std::string::npos);
+  // Conv GEMM covers 8 rows x 16 cols = 128 columns per tile.
+  EXPECT_NE(Body.find("sgemm(conv_weights, conv_inputs0"),
+            std::string::npos);
+}
+
+TEST(PassesTest, BackwardIsAlsoFused) {
+  Net Net(1);
+  Ensemble *Data = DataLayer(Net, "data", Shape{2, 16, 16});
+  Ensemble *Conv = ConvolutionLayer(Net, "conv", Data, 2, 3, 1, 1);
+  Ensemble *Relu = ReluLayer(Net, "relu", Conv);
+  MaxPoolingLayer(Net, "pool", Relu, 2, 2);
+  Program P = compile(Net, smallNetOpts());
+
+  // Backward: pool-bwd, relu-bwd, and the conv input-gradient GEMM share
+  // one tiled loop (the paper's 15x backward speedup relies on this).
+  std::vector<const TiledLoopStmt *> Bwd = tiledLoops(P.Backward.get());
+  ASSERT_GE(Bwd.size(), 1u);
+  std::string Body = printStmt(Bwd[0]->body());
+  EXPECT_NE(Body.find("max_pool_bwd("), std::string::npos);
+  EXPECT_NE(Body.find("act_bwd("), std::string::npos);
+  EXPECT_NE(Body.find("sgemm("), std::string::npos);
+}
+
+TEST(PassesTest, CollapseAnnotationOnFusedGroups) {
+  Net Net(4);
+  Ensemble *Data = DataLayer(Net, "data", Shape{2, 16, 16});
+  Ensemble *Conv = ConvolutionLayer(Net, "conv", Data, 2, 3, 1, 1);
+  ReluLayer(Net, "relu", Conv);
+  Program P = compile(Net, smallNetOpts());
+
+  bool SawCollapsedBatchLoop = false;
+  walkStmts(P.Forward.get(), [&](const Stmt *S) {
+    if (const auto *F = dyn_cast<ForStmt>(S))
+      if (F->var() == "n" && F->annotations().Parallel &&
+          F->annotations().Collapse == 2)
+        SawCollapsedBatchLoop = true;
+  });
+  EXPECT_TRUE(SawCollapsedBatchLoop) << printStmt(P.Forward.get());
+}
+
+TEST(PassesTest, NoParallelAnnotationsWhenDisabled) {
+  Net Net(4);
+  Ensemble *Data = DataLayer(Net, "data", Shape{2, 8, 8});
+  ConvolutionLayer(Net, "conv", Data, 2, 3, 1, 1);
+  CompileOptions Opts;
+  Opts.Parallelize = false;
+  Program P = compile(Net, Opts);
+  walkStmts(P.Forward.get(), [&](const Stmt *S) {
+    if (const auto *F = dyn_cast<ForStmt>(S)) {
+      EXPECT_FALSE(F->annotations().Parallel);
+    }
+  });
+}
+
+TEST(PassesTest, BarrierEmittedForNormalizationEnsembles) {
+  Net Net(2);
+  Ensemble *Data = DataLayer(Net, "data", Shape{6});
+  Ensemble *Fc = FullyConnectedLayer(Net, "fc", Data, 4);
+  SoftmaxLayer(Net, "softmax", Fc);
+  Program P = compile(Net);
+  bool SawBarrier = false;
+  walkStmts(P.Forward.get(), [&](const Stmt *S) {
+    if (isa<BarrierStmt>(S))
+      SawBarrier = true;
+  });
+  EXPECT_TRUE(SawBarrier);
+}
+
+TEST(PassesTest, TilingHonorsMinRowsThreshold) {
+  Net Net(1);
+  Ensemble *Data = DataLayer(Net, "data", Shape{2, 16, 16});
+  ConvolutionLayer(Net, "conv", Data, 2, 3, 1, 1);
+  CompileOptions Big;
+  Big.TileSize = 4;
+  Big.MinRowsToTile = 64; // 16 rows < 64: stay untiled
+  Program P = compile(Net, Big);
+  EXPECT_EQ(P.Report.NumTiledLoops, 0);
+  EXPECT_TRUE(tiledLoops(P.Forward.get()).empty());
+}
+
+TEST(PassesTest, TileSizePicksDivisor) {
+  // Rows = 18, requested tile 8 -> largest divisor <= 8 is 6.
+  Net Net(1);
+  Ensemble *Data = DataLayer(Net, "data", Shape{2, 18, 18});
+  ConvolutionLayer(Net, "conv", Data, 2, 3, 1, 1);
+  CompileOptions Opts;
+  Opts.TileSize = 8;
+  Opts.MinRowsToTile = 4;
+  Program P = compile(Net, Opts);
+  std::vector<const TiledLoopStmt *> Loops = tiledLoops(P.Forward.get());
+  ASSERT_EQ(Loops.size(), 1u);
+  EXPECT_EQ(Loops[0]->tileSize(), 6);
+  EXPECT_EQ(Loops[0]->numTiles(), 3);
+}
+
+TEST(PassesTest, FcLayersAreWholeBatchGemms) {
+  // FC layers lower to one whole-batch GEMM outside any batch loop
+  // (shared-variable analysis: all neurons consume the same inputs).
+  Net Net(4);
+  Ensemble *Data = DataLayer(Net, "data", Shape{10});
+  FullyConnectedLayer(Net, "fc", Data, 5);
+  Program P = compile(Net);
+  std::string Text = printStmt(P.Forward.get());
+  EXPECT_NE(Text.find("sgemm(fc_inputs0, fc_weights, fc_value"),
+            std::string::npos);
+  // No batch loop at all: the program is two kernel calls.
+  bool SawFor = false;
+  walkStmts(P.Forward.get(), [&](const Stmt *S) {
+    if (isa<ForStmt>(S))
+      SawFor = true;
+  });
+  EXPECT_FALSE(SawFor) << Text;
+}
+
+TEST(PassesTest, FcInputAliasesSourceValues) {
+  // The Figure 8 optimization: the FC input buffer is the producer's value
+  // buffer, not a copy.
+  Net Net(2);
+  Ensemble *Data = DataLayer(Net, "data", Shape{3, 4, 4});
+  Ensemble *Conv = ConvolutionLayer(Net, "conv", Data, 2, 3, 1, 1);
+  FullyConnectedLayer(Net, "fc", Conv, 5);
+  Program P = compile(Net);
+  const BufferInfo *In = P.findBuffer("fc_inputs0");
+  ASSERT_NE(In, nullptr);
+  EXPECT_EQ(In->AliasOf, "conv_value");
+  const BufferInfo *Gin = P.findBuffer("fc_grad_inputs0");
+  ASSERT_NE(Gin, nullptr);
+  EXPECT_EQ(Gin->AliasOf, "conv_grad");
+}
+
+TEST(PassesTest, ActivationValueRunsInPlace) {
+  Net Net(2);
+  Ensemble *Data = DataLayer(Net, "data", Shape{2, 8, 8});
+  Ensemble *Conv = ConvolutionLayer(Net, "conv", Data, 2, 3, 1, 1);
+  ReluLayer(Net, "relu", Conv);
+  Program P = compile(Net);
+  const BufferInfo *V = P.findBuffer("relu_value");
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->AliasOf, "conv_value");
+  // Gradients stay private (see declareValueGrad).
+  const BufferInfo *G = P.findBuffer("relu_grad");
+  ASSERT_NE(G, nullptr);
+  EXPECT_TRUE(G->AliasOf.empty());
+}
+
+TEST(PassesTest, StridedNonOverlappingConvFusesWithProducer) {
+  // A 2x2 stride-2 unpadded convolution satisfies the fusion legality rule
+  // (window == stride, no padding), like pooling.
+  Net Net(1);
+  Ensemble *Data = DataLayer(Net, "data", Shape{2, 16, 16});
+  Ensemble *Conv1 = ConvolutionLayer(Net, "conv1", Data, 2, 3, 1, 1);
+  Ensemble *Relu = ReluLayer(Net, "relu1", Conv1);
+  ConvolutionLayer(Net, "conv2", Relu, 4, 2, 2, 0);
+  Program P = compile(Net, smallNetOpts());
+  bool Conv2Fused = false;
+  for (const auto &Group : P.Report.FusionGroups)
+    for (const std::string &Name : Group)
+      Conv2Fused |= Name == "conv2";
+  EXPECT_TRUE(Conv2Fused);
+}

@@ -1,0 +1,174 @@
+//===- tests/kernels/im2col_pool_test.cpp ---------------------*- C++ -*-===//
+
+#include "kernels/im2col.h"
+#include "kernels/pooling.h"
+
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+using namespace latte;
+using namespace latte::kernels;
+
+TEST(ConvGeometryTest, OutputSizes) {
+  ConvGeometry G{3, 224, 224, 11, 11, 4, 4, 0, 0};
+  EXPECT_EQ(G.outH(), 54); // AlexNet conv1 without pad: (224-11)/4+1
+  EXPECT_EQ(G.outW(), 54);
+  ConvGeometry P{64, 112, 112, 2, 2, 2, 2, 0, 0};
+  EXPECT_EQ(P.outH(), 56);
+  ConvGeometry S{3, 224, 224, 3, 3, 1, 1, 1, 1};
+  EXPECT_EQ(S.outH(), 224); // VGG "same" conv
+  EXPECT_EQ(S.colRows(), 27);
+}
+
+TEST(Im2ColTest, SimpleNoPad) {
+  // 1 channel, 3x3 image, 2x2 kernel, stride 1.
+  ConvGeometry G{1, 3, 3, 2, 2, 1, 1, 0, 0};
+  std::vector<float> Img = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> Col(G.colRows() * G.colCols());
+  im2col(Img.data(), G, Col.data());
+  // Rows: (ky,kx) in order (0,0),(0,1),(1,0),(1,1); cols: outputs (y,x).
+  // Output (0,0) window = {1,2,4,5}.
+  int64_t Cols = G.colCols();
+  EXPECT_FLOAT_EQ(Col[0 * Cols + 0], 1);
+  EXPECT_FLOAT_EQ(Col[1 * Cols + 0], 2);
+  EXPECT_FLOAT_EQ(Col[2 * Cols + 0], 4);
+  EXPECT_FLOAT_EQ(Col[3 * Cols + 0], 5);
+  // Output (1,1) window = {5,6,8,9}.
+  EXPECT_FLOAT_EQ(Col[0 * Cols + 3], 5);
+  EXPECT_FLOAT_EQ(Col[3 * Cols + 3], 9);
+}
+
+TEST(Im2ColTest, PaddingProducesZeros) {
+  ConvGeometry G{1, 2, 2, 3, 3, 1, 1, 1, 1};
+  std::vector<float> Img = {1, 2, 3, 4};
+  std::vector<float> Col(G.colRows() * G.colCols());
+  im2col(Img.data(), G, Col.data());
+  // Top-left output, kernel position (0,0) reads padding -> 0.
+  EXPECT_FLOAT_EQ(Col[0], 0.0f);
+  // Kernel center (1,1) at output (0,0) reads pixel (0,0) = 1.
+  int64_t CenterRow = 1 * 3 + 1;
+  EXPECT_FLOAT_EQ(Col[CenterRow * G.colCols() + 0], 1.0f);
+}
+
+// Adjointness property over a sweep of geometries:
+// <im2col(x), y> == <x, col2im(y)>.
+class Im2ColSweepTest
+    : public testing::TestWithParam<
+          std::tuple<int, int, int, int, int>> {}; // C, H, kernel, stride, pad
+
+TEST_P(Im2ColSweepTest, AdjointProperty) {
+  auto [C, H, Kernel, Stride, Pad] = GetParam();
+  ConvGeometry G{C, H, H, Kernel, Kernel, Stride, Stride, Pad, Pad};
+  if (G.outH() <= 0)
+    GTEST_SKIP() << "degenerate geometry";
+  Rng R(C * 100 + H * 10 + Kernel + Stride + Pad);
+  std::vector<float> X(C * H * H), Y(G.colRows() * G.colCols());
+  for (auto &V : X)
+    V = static_cast<float>(R.uniform(-1, 1));
+  for (auto &V : Y)
+    V = static_cast<float>(R.uniform(-1, 1));
+
+  std::vector<float> ColX(Y.size());
+  im2col(X.data(), G, ColX.data());
+  double Lhs = 0;
+  for (size_t I = 0; I < Y.size(); ++I)
+    Lhs += static_cast<double>(ColX[I]) * Y[I];
+
+  std::vector<float> ImY(X.size(), 0.0f);
+  col2im(Y.data(), G, ImY.data());
+  double Rhs = 0;
+  for (size_t I = 0; I < X.size(); ++I)
+    Rhs += static_cast<double>(X[I]) * ImY[I];
+
+  EXPECT_NEAR(Lhs, Rhs, 1e-3 * static_cast<double>(Y.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, Im2ColSweepTest,
+                         testing::Combine(testing::Values(1, 3),
+                                          testing::Values(4, 7, 12),
+                                          testing::Values(1, 2, 3),
+                                          testing::Values(1, 2),
+                                          testing::Values(0, 1)));
+
+TEST(MaxPoolTest, ForwardPicksMaxAndMask) {
+  ConvGeometry G{1, 4, 4, 2, 2, 2, 2, 0, 0};
+  std::vector<float> In = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                           16};
+  std::vector<float> Out(4);
+  std::vector<int32_t> Mask(4);
+  maxPoolFwd(In.data(), G, Out.data(), Mask.data());
+  EXPECT_FLOAT_EQ(Out[0], 6);
+  EXPECT_FLOAT_EQ(Out[1], 8);
+  EXPECT_FLOAT_EQ(Out[2], 14);
+  EXPECT_FLOAT_EQ(Out[3], 16);
+  EXPECT_EQ(Mask[0], 5);
+  EXPECT_EQ(Mask[3], 15);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  ConvGeometry G{1, 4, 4, 2, 2, 2, 2, 0, 0};
+  std::vector<float> In(16);
+  for (int I = 0; I < 16; ++I)
+    In[I] = static_cast<float>(I);
+  std::vector<float> Out(4);
+  std::vector<int32_t> Mask(4);
+  maxPoolFwd(In.data(), G, Out.data(), Mask.data());
+
+  std::vector<float> OutGrad = {1, 2, 3, 4};
+  std::vector<float> InGrad(16, 0.0f);
+  maxPoolBwd(OutGrad.data(), G, Mask.data(), InGrad.data());
+  EXPECT_FLOAT_EQ(InGrad[5], 1);
+  EXPECT_FLOAT_EQ(InGrad[7], 2);
+  EXPECT_FLOAT_EQ(InGrad[13], 3);
+  EXPECT_FLOAT_EQ(InGrad[15], 4);
+  float Total = 0;
+  for (float V : InGrad)
+    Total += V;
+  EXPECT_FLOAT_EQ(Total, 10.0f); // gradient is conserved
+}
+
+TEST(MaxPoolTest, OverlappingWindows) {
+  // AlexNet-style 3x3 stride-2 overlapping pooling.
+  ConvGeometry G{1, 5, 5, 3, 3, 2, 2, 0, 0};
+  std::vector<float> In(25, 0.0f);
+  In[12] = 5.0f; // center pixel participates in all four windows
+  std::vector<float> Out(4);
+  std::vector<int32_t> Mask(4);
+  maxPoolFwd(In.data(), G, Out.data(), Mask.data());
+  for (int I = 0; I < 4; ++I) {
+    EXPECT_FLOAT_EQ(Out[I], 5.0f);
+    EXPECT_EQ(Mask[I], 12);
+  }
+}
+
+TEST(AvgPoolTest, ForwardAveragesWindow) {
+  ConvGeometry G{1, 2, 2, 2, 2, 2, 2, 0, 0};
+  std::vector<float> In = {1, 2, 3, 4};
+  std::vector<float> Out(1);
+  avgPoolFwd(In.data(), G, Out.data());
+  EXPECT_FLOAT_EQ(Out[0], 2.5f);
+}
+
+TEST(AvgPoolTest, BackwardSpreadsUniformly) {
+  ConvGeometry G{1, 2, 2, 2, 2, 2, 2, 0, 0};
+  std::vector<float> OutGrad = {4.0f};
+  std::vector<float> InGrad(4, 0.0f);
+  avgPoolBwd(OutGrad.data(), G, InGrad.data());
+  for (float V : InGrad)
+    EXPECT_FLOAT_EQ(V, 1.0f);
+}
+
+TEST(MaxPoolTest, MultiChannelIndependence) {
+  ConvGeometry G{2, 2, 2, 2, 2, 2, 2, 0, 0};
+  std::vector<float> In = {1, 2, 3, 4, 40, 30, 20, 10};
+  std::vector<float> Out(2);
+  std::vector<int32_t> Mask(2);
+  maxPoolFwd(In.data(), G, Out.data(), Mask.data());
+  EXPECT_FLOAT_EQ(Out[0], 4);
+  EXPECT_FLOAT_EQ(Out[1], 40);
+  EXPECT_EQ(Mask[1], 4); // linear offset within the whole CHW tensor
+}

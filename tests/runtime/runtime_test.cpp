@@ -1,0 +1,296 @@
+//===- tests/runtime/runtime_test.cpp -------------------------*- C++ -*-===//
+///
+/// Runtime tests: data-parallel gradient summation (synchronized and
+/// lossy), the cluster scaling simulator, and the heterogeneous
+/// accelerator scheduler.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/layers/layers.h"
+#include "data/datasets.h"
+#include "models/models.h"
+#include "runtime/accelerator.h"
+#include "runtime/cluster_sim.h"
+#include "runtime/data_parallel.h"
+
+#include <gtest/gtest.h>
+
+using namespace latte;
+using namespace latte::runtime;
+
+namespace {
+
+NetBuilder mlpBuilder() {
+  return [](core::Net &Net) {
+    models::ModelSpec Spec = models::mlp(8, {10}, 3);
+    models::buildLatte(Net, Spec, /*WithLoss=*/true);
+  };
+}
+
+Tensor randomBatch(int64_t Batch, int64_t Items, uint64_t Seed) {
+  Rng R(Seed);
+  Tensor T(Shape{Batch, Items});
+  R.fillGaussian(T, 0.0f, 1.0f);
+  return T;
+}
+
+Tensor labelBatch(int64_t Batch, int64_t Classes) {
+  Tensor T(Shape{Batch});
+  for (int64_t I = 0; I < Batch; ++I)
+    T.at(I) = static_cast<float>(I % Classes);
+  return T;
+}
+
+} // namespace
+
+TEST(DataParallelTest, MatchesSingleWorkerStep) {
+  // A 4-worker synchronized step must equal a 1-worker step over the same
+  // global batch.
+  const int64_t Batch = 8;
+  Tensor Data = randomBatch(Batch, 8, 5);
+  Tensor Labels = labelBatch(Batch, 3);
+
+  solvers::SolverParameters P;
+  P.Lr = solvers::LRPolicy::fixed(0.1);
+  P.Momentum = solvers::MomPolicy::fixed(0.0);
+
+  DataParallelOptions Single;
+  Single.NumWorkers = 1;
+  DataParallelTrainer T1(mlpBuilder(), Batch, Single);
+  solvers::SgdSolver S1(P);
+  T1.trainStep(Data, Labels, S1, 0);
+
+  DataParallelOptions Quad;
+  Quad.NumWorkers = 4;
+  DataParallelTrainer T4(mlpBuilder(), Batch, Quad);
+  solvers::SgdSolver S4(P);
+  T4.trainStep(Data, Labels, S4, 0);
+
+  for (const compiler::ParamBinding &B : T1.worker(0).program().Params) {
+    Tensor W1 = T1.worker(0).readBuffer(B.Param);
+    Tensor W4 = T4.worker(0).readBuffer(B.Param);
+    EXPECT_EQ(W1.firstMismatch(W4, 1e-5f, 1e-4f), -1) << B.Param;
+  }
+}
+
+TEST(DataParallelTest, LossyMatchesSynchronizedHere) {
+  // Race-free on this machine's scheduling granularity, lossy and
+  // synchronized reductions must produce the same step (the Figure 20
+  // premise at small scale).
+  const int64_t Batch = 8;
+  Tensor Data = randomBatch(Batch, 8, 17);
+  Tensor Labels = labelBatch(Batch, 3);
+  solvers::SolverParameters P;
+  P.Lr = solvers::LRPolicy::fixed(0.05);
+
+  DataParallelOptions Sync;
+  Sync.NumWorkers = 2;
+  DataParallelTrainer Ts(mlpBuilder(), Batch, Sync);
+  solvers::SgdSolver Ss(P);
+  double LossSync = Ts.trainStep(Data, Labels, Ss, 0);
+
+  DataParallelOptions Lossy;
+  Lossy.NumWorkers = 2;
+  Lossy.LossyGradients = true;
+  DataParallelTrainer Tl(mlpBuilder(), Batch, Lossy);
+  solvers::SgdSolver Sl(P);
+  double LossLossy = Tl.trainStep(Data, Labels, Sl, 0);
+
+  EXPECT_NEAR(LossSync, LossLossy, 1e-5);
+}
+
+TEST(DataParallelTest, ReplicasStayConsistent) {
+  const int64_t Batch = 6;
+  DataParallelOptions O;
+  O.NumWorkers = 3;
+  DataParallelTrainer T(mlpBuilder(), Batch, O);
+  solvers::SolverParameters P;
+  P.Lr = solvers::LRPolicy::fixed(0.1);
+  solvers::SgdSolver S(P);
+  for (int Iter = 0; Iter < 3; ++Iter)
+    T.trainStep(randomBatch(Batch, 8, 100 + Iter), labelBatch(Batch, 3), S,
+                Iter);
+  // All replicas hold identical parameters after broadcasts.
+  for (const compiler::ParamBinding &B : T.worker(0).program().Params) {
+    Tensor W0 = T.worker(0).readBuffer(B.Param);
+    for (int W = 1; W < T.numWorkers(); ++W)
+      EXPECT_EQ(T.worker(W).readBuffer(B.Param).firstMismatch(W0, 0.0f), -1);
+  }
+}
+
+TEST(DataParallelTest, TrainingConvergesAcrossWorkers) {
+  data::SyntheticMnist Ds(256, 3, 4, 12, 0.1f, 1);
+  NetBuilder Builder = [](core::Net &Net) {
+    models::ModelSpec Spec = models::mlp(144, {32}, 4);
+    Spec.InputDims = Shape{1, 12, 12};
+    models::buildLatte(Net, Spec, true);
+  };
+  const int64_t Batch = 16;
+  DataParallelOptions O;
+  O.NumWorkers = 4;
+  DataParallelTrainer T(Builder, Batch, O);
+  solvers::SolverParameters P;
+  P.Lr = solvers::LRPolicy::fixed(0.05);
+  P.Momentum = solvers::MomPolicy::fixed(0.9);
+  solvers::SgdSolver S(P);
+
+  Tensor Data(Shape{Batch, 1, 12, 12});
+  Tensor Labels(Shape{Batch});
+  double FirstLoss = 0, LastLoss = 0;
+  for (int Iter = 0; Iter < 60; ++Iter) {
+    for (int64_t I = 0; I < Batch; ++I)
+      Labels.at(I) = static_cast<float>(
+          Ds.fillItem((Iter * Batch + I) % Ds.size(),
+                      Data.data() + I * 144));
+    double Loss = T.trainStep(Data, Labels, S, Iter);
+    if (Iter == 0)
+      FirstLoss = Loss;
+    LastLoss = Loss;
+  }
+  EXPECT_LT(LastLoss, FirstLoss * 0.5);
+  EXPECT_GT(T.lastAccuracy(), 0.7);
+}
+
+//===----------------------------------------------------------------------===//
+// Cluster simulator
+//===----------------------------------------------------------------------===//
+
+TEST(ClusterSimTest, AllreduceCostModel) {
+  NetworkModel Net;
+  EXPECT_DOUBLE_EQ(Net.allreduceSeconds(1, 1 << 20), 0.0);
+  double T2 = Net.allreduceSeconds(2, 1 << 20);
+  double T4 = Net.allreduceSeconds(4, 1 << 20);
+  EXPECT_GT(T2, 0.0);
+  // Ring allreduce volume per link converges; time grows sub-linearly.
+  EXPECT_LT(T4, 2.5 * T2);
+}
+
+TEST(ClusterSimTest, LayerFlopsOrdering) {
+  models::ModelSpec Spec = models::vggA(0.25);
+  std::vector<double> Flops = layerFlops(Spec);
+  ASSERT_EQ(Flops.size(), Spec.Layers.size() + 1);
+  // Convolutions dominate pooling.
+  EXPECT_GT(Flops[0], Flops[2] * 10);
+}
+
+TEST(ClusterSimTest, ProfilesApportionMeasuredTime) {
+  models::ModelSpec Spec = models::mlp(100, {50}, 10);
+  std::vector<LayerProfile> P = estimateLayerProfiles(Spec, 8, 1.0, 2.0);
+  double Fwd = 0, Bwd = 0;
+  for (const LayerProfile &L : P) {
+    Fwd += L.FwdSeconds;
+    Bwd += L.BwdSeconds;
+  }
+  EXPECT_NEAR(Fwd, 1.0, 1e-9);
+  EXPECT_NEAR(Bwd, 2.0, 1e-9);
+}
+
+TEST(ClusterSimTest, StrongScalingEfficiencyDecreases) {
+  models::ModelSpec Spec = models::vggA(0.5);
+  std::vector<LayerProfile> P = estimateLayerProfiles(Spec, 512, 60.0,
+                                                      120.0);
+  ClusterConfig C;
+  double T1 = 0;
+  std::vector<double> Eff;
+  for (int Nodes : {1, 2, 4, 8, 16, 32, 64}) {
+    C.Nodes = Nodes;
+    ClusterResult R = simulateIteration(P, C, 512 / Nodes, 512);
+    if (Nodes == 1)
+      T1 = R.IterSeconds;
+    Eff.push_back(T1 / (Nodes * R.IterSeconds));
+  }
+  EXPECT_NEAR(Eff[0], 1.0, 1e-9);
+  for (size_t I = 1; I < Eff.size(); ++I)
+    EXPECT_LE(Eff[I], Eff[I - 1] + 1e-9);
+  EXPECT_GT(Eff[5], 0.5); // 32 nodes still reasonably efficient
+}
+
+TEST(ClusterSimTest, OverlapBeatsNoOverlap) {
+  models::ModelSpec Spec = models::alexNet(0.5);
+  std::vector<LayerProfile> P = estimateLayerProfiles(Spec, 64, 5.0, 10.0);
+  ClusterConfig With, Without;
+  With.Nodes = Without.Nodes = 16;
+  Without.OverlapComm = false;
+  double Tw = simulateIteration(P, With, 64, 64).IterSeconds;
+  double To = simulateIteration(P, Without, 64, 64).IterSeconds;
+  EXPECT_LT(Tw, To);
+}
+
+TEST(ClusterSimTest, WeakScalingNearLinear) {
+  models::ModelSpec Spec = models::alexNet(0.5);
+  std::vector<LayerProfile> P = estimateLayerProfiles(Spec, 64, 5.0, 10.0);
+  ClusterConfig C;
+  C.Nodes = 1;
+  double T1 = clusterThroughput(P, C, 64, 64);
+  C.Nodes = 32;
+  double T32 = clusterThroughput(P, C, 64, 64);
+  EXPECT_GT(T32, 0.8 * 32 * T1);
+}
+
+//===----------------------------------------------------------------------===//
+// Accelerator scheduler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+HeterogeneousConfig phiConfig(int Cards) {
+  HeterogeneousConfig C;
+  C.HostSecondsPerItem = 0.01;
+  C.BytesPerItem = 3 * 224 * 224 * 4;
+  C.GradBytes = 8LL << 20;
+  for (int I = 0; I < Cards; ++I)
+    C.Devices.push_back(DeviceModel{0.55, 6e9, 50e-6});
+  return C;
+}
+
+} // namespace
+
+TEST(AcceleratorTest, AutotuneBalancesHostAndDevice) {
+  HeterogeneousScheduler S(phiConfig(1));
+  Schedule Sch = S.autotune(128);
+  EXPECT_GT(Sch.DeviceChunks[0], 16); // grew past the initial chunk
+  EXPECT_GT(Sch.HostItems, 0);
+  EXPECT_EQ(Sch.HostItems + Sch.DeviceChunks[0], 128);
+  // Balanced: neither side more than ~35% slower than the other.
+  double Host = Sch.HostItems * 0.01;
+  double Dev = S.deviceComputeSeconds(0, Sch.DeviceChunks[0]);
+  EXPECT_LT(std::abs(Host - Dev) / std::max(Host, Dev), 0.35);
+}
+
+TEST(AcceleratorTest, ThroughputImprovesPerCard) {
+  double T0 = HeterogeneousScheduler(phiConfig(0)).throughput(128)
+                  .ItemsPerSecond;
+  double T1 = HeterogeneousScheduler(phiConfig(1)).throughput(128)
+                  .ItemsPerSecond;
+  double T2 = HeterogeneousScheduler(phiConfig(2)).throughput(128)
+                  .ItemsPerSecond;
+  EXPECT_GT(T1, 1.25 * T0); // each card adds meaningful throughput
+  EXPECT_GT(T2, 1.15 * T1);
+  // The paper reports ~+50% per card with devices roughly half the host's
+  // speed; allow a generous band around that shape.
+  EXPECT_LT(T1, 1.8 * T0);
+}
+
+TEST(AcceleratorTest, DoubleBufferingHidesUploads) {
+  // A slow PCIe link makes the upload visible whenever it is not hidden.
+  HeterogeneousConfig C = phiConfig(1);
+  C.Devices[0].PcieBytesPerSec = 2e8;
+  HeterogeneousScheduler S(C);
+  Schedule Sch = S.autotune(128);
+  ASSERT_GT(Sch.DeviceChunks[0], 0);
+  double First = S.iterationSeconds(Sch, /*FirstIteration=*/true);
+  double Steady = S.iterationSeconds(Sch, /*FirstIteration=*/false);
+  EXPECT_LT(Steady, First);
+
+  C.DoubleBuffering = false;
+  HeterogeneousScheduler S2(C);
+  double NoDb = S2.iterationSeconds(Sch, /*FirstIteration=*/false);
+  EXPECT_GT(NoDb, Steady);
+}
+
+TEST(AcceleratorTest, NoDevicesFallsBackToHost) {
+  HeterogeneousScheduler S(phiConfig(0));
+  ThroughputResult R = S.throughput(64);
+  EXPECT_EQ(R.Chosen.HostItems, 64);
+  EXPECT_NEAR(R.ItemsPerSecond, 100.0, 1e-6);
+}

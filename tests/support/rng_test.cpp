@@ -1,0 +1,78 @@
+//===- tests/support/rng_test.cpp -----------------------------*- C++ -*-===//
+
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace latte;
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.uniform(-2.0, 3.0);
+    EXPECT_GE(U, -2.0);
+    EXPECT_LT(U, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng R(7);
+  bool Seen[5] = {};
+  for (int I = 0; I < 500; ++I) {
+    int64_t V = R.uniformInt(5);
+    ASSERT_GE(V, 0);
+    ASSERT_LT(V, 5);
+    Seen[V] = true;
+  }
+  for (bool S : Seen)
+    EXPECT_TRUE(S);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng R(123);
+  const int N = 20000;
+  double Sum = 0, SumSq = 0;
+  for (int I = 0; I < N; ++I) {
+    double G = R.gaussian();
+    Sum += G;
+    SumSq += G * G;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 0.0, 0.05);
+  EXPECT_NEAR(Var, 1.0, 0.1);
+}
+
+TEST(RngTest, FillXavierBounds) {
+  Rng R(5);
+  Tensor T(Shape{1000});
+  R.fillXavier(T, 300);
+  float Bound = std::sqrt(3.0f / 300.0f);
+  for (int64_t I = 0; I < T.numElements(); ++I) {
+    EXPECT_GE(T.at(I), -Bound);
+    EXPECT_LE(T.at(I), Bound);
+  }
+}
+
+TEST(RngTest, FillGaussianStddev) {
+  Rng R(5);
+  Tensor T(Shape{20000});
+  R.fillGaussian(T, 1.0f, 0.5f);
+  double Sum = 0;
+  for (int64_t I = 0; I < T.numElements(); ++I)
+    Sum += T.at(I);
+  EXPECT_NEAR(Sum / T.numElements(), 1.0, 0.05);
+}

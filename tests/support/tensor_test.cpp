@@ -1,0 +1,78 @@
+//===- tests/support/tensor_test.cpp --------------------------*- C++ -*-===//
+
+#include "support/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+using namespace latte;
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor T(Shape{4, 4});
+  for (int64_t I = 0; I < T.numElements(); ++I)
+    EXPECT_EQ(T.at(I), 0.0f);
+}
+
+TEST(TensorTest, AlignedStorage) {
+  Tensor T(Shape{17});
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(T.data()) % 64, 0u);
+}
+
+TEST(TensorTest, FillAndAt) {
+  Tensor T(Shape{2, 3});
+  T.fill(2.5f);
+  EXPECT_EQ(T.at({1, 2}), 2.5f);
+  T.at({0, 1}) = -1.0f;
+  EXPECT_EQ(T.at(1), -1.0f);
+}
+
+TEST(TensorTest, CopySemanticsAreDeep) {
+  Tensor A(Shape{3});
+  A.fill(1.0f);
+  Tensor B = A;
+  B.at(0) = 9.0f;
+  EXPECT_EQ(A.at(0), 1.0f);
+  EXPECT_EQ(B.at(0), 9.0f);
+}
+
+TEST(TensorTest, MoveLeavesSourceEmpty) {
+  Tensor A(Shape{3});
+  Tensor B = std::move(A);
+  EXPECT_TRUE(A.empty());
+  EXPECT_EQ(B.numElements(), 3);
+}
+
+TEST(TensorTest, Reshape) {
+  Tensor T(Shape{2, 6});
+  T.at({1, 1}) = 7.0f;
+  T.reshape(Shape{3, 4});
+  EXPECT_EQ(T.shape(), Shape({3, 4}));
+  EXPECT_EQ(T.at(7), 7.0f); // same linear storage
+}
+
+TEST(TensorTest, FirstMismatch) {
+  Tensor A(Shape{4}), B(Shape{4});
+  A.fill(1.0f);
+  B.fill(1.0f);
+  EXPECT_EQ(A.firstMismatch(B, 1e-6f), -1);
+  B.at(2) = 1.1f;
+  EXPECT_EQ(A.firstMismatch(B, 1e-6f), 2);
+  EXPECT_EQ(A.firstMismatch(B, 0.2f), -1);
+}
+
+TEST(TensorTest, FirstMismatchRelativeTolerance) {
+  Tensor A(Shape{1}), B(Shape{1});
+  A.at(0) = 1000.0f;
+  B.at(0) = 1001.0f;
+  EXPECT_EQ(A.firstMismatch(B, 0.0f, 1e-2f), -1);
+  EXPECT_EQ(A.firstMismatch(B, 0.0f, 1e-6f), 0);
+}
+
+TEST(TensorTest, EmptyTensor) {
+  Tensor T;
+  EXPECT_TRUE(T.empty());
+  EXPECT_EQ(T.numElements(), 1); // rank-0 shape has one logical element
+  Tensor Z(Shape{0, 5});
+  EXPECT_TRUE(Z.empty());
+}
