@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_neuron.dir/examples/custom_neuron.cpp.o"
+  "CMakeFiles/custom_neuron.dir/examples/custom_neuron.cpp.o.d"
+  "examples/custom_neuron"
+  "examples/custom_neuron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_neuron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_microbench.dir/bench/fig13_microbench.cpp.o"
+  "CMakeFiles/fig13_microbench.dir/bench/fig13_microbench.cpp.o.d"
+  "bench/fig13_microbench"
+  "bench/fig13_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_imagenet_caffe.dir/bench/fig14_imagenet_caffe.cpp.o"
+  "CMakeFiles/fig14_imagenet_caffe.dir/bench/fig14_imagenet_caffe.cpp.o.d"
+  "bench/fig14_imagenet_caffe"
+  "bench/fig14_imagenet_caffe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_imagenet_caffe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_vgg_groups.dir/bench/fig15_vgg_groups.cpp.o"
+  "CMakeFiles/fig15_vgg_groups.dir/bench/fig15_vgg_groups.cpp.o.d"
+  "bench/fig15_vgg_groups"
+  "bench/fig15_vgg_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_vgg_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_vgg_groups.
+# This may be replaced when dependencies are built.

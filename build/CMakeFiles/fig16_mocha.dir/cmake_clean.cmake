@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_mocha.dir/bench/fig16_mocha.cpp.o"
+  "CMakeFiles/fig16_mocha.dir/bench/fig16_mocha.cpp.o.d"
+  "bench/fig16_mocha"
+  "bench/fig16_mocha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_mocha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

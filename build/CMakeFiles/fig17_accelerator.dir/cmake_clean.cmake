@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_accelerator.dir/bench/fig17_accelerator.cpp.o"
+  "CMakeFiles/fig17_accelerator.dir/bench/fig17_accelerator.cpp.o.d"
+  "bench/fig17_accelerator"
+  "bench/fig17_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

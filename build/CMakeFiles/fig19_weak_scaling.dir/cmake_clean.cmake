@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_weak_scaling.dir/bench/fig19_weak_scaling.cpp.o"
+  "CMakeFiles/fig19_weak_scaling.dir/bench/fig19_weak_scaling.cpp.o.d"
+  "bench/fig19_weak_scaling"
+  "bench/fig19_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

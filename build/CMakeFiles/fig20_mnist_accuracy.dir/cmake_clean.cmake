@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_mnist_accuracy.dir/bench/fig20_mnist_accuracy.cpp.o"
+  "CMakeFiles/fig20_mnist_accuracy.dir/bench/fig20_mnist_accuracy.cpp.o.d"
+  "bench/fig20_mnist_accuracy"
+  "bench/fig20_mnist_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_mnist_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_gemm.dir/bench/kernels_gemm.cpp.o"
+  "CMakeFiles/kernels_gemm.dir/bench/kernels_gemm.cpp.o.d"
+  "bench/kernels_gemm"
+  "bench/kernels_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

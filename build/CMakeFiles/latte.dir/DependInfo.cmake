@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/caffe/caffe.cpp" "CMakeFiles/latte.dir/src/baselines/caffe/caffe.cpp.o" "gcc" "CMakeFiles/latte.dir/src/baselines/caffe/caffe.cpp.o.d"
+  "/root/repo/src/baselines/mocha/mocha.cpp" "CMakeFiles/latte.dir/src/baselines/mocha/mocha.cpp.o" "gcc" "CMakeFiles/latte.dir/src/baselines/mocha/mocha.cpp.o.d"
+  "/root/repo/src/compiler/analysis.cpp" "CMakeFiles/latte.dir/src/compiler/analysis.cpp.o" "gcc" "CMakeFiles/latte.dir/src/compiler/analysis.cpp.o.d"
+  "/root/repo/src/compiler/codegen_cpp.cpp" "CMakeFiles/latte.dir/src/compiler/codegen_cpp.cpp.o" "gcc" "CMakeFiles/latte.dir/src/compiler/codegen_cpp.cpp.o.d"
+  "/root/repo/src/compiler/compiler.cpp" "CMakeFiles/latte.dir/src/compiler/compiler.cpp.o" "gcc" "CMakeFiles/latte.dir/src/compiler/compiler.cpp.o.d"
+  "/root/repo/src/compiler/passes.cpp" "CMakeFiles/latte.dir/src/compiler/passes.cpp.o" "gcc" "CMakeFiles/latte.dir/src/compiler/passes.cpp.o.d"
+  "/root/repo/src/compiler/synthesis.cpp" "CMakeFiles/latte.dir/src/compiler/synthesis.cpp.o" "gcc" "CMakeFiles/latte.dir/src/compiler/synthesis.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "CMakeFiles/latte.dir/src/core/graph.cpp.o" "gcc" "CMakeFiles/latte.dir/src/core/graph.cpp.o.d"
+  "/root/repo/src/core/layers/layers.cpp" "CMakeFiles/latte.dir/src/core/layers/layers.cpp.o" "gcc" "CMakeFiles/latte.dir/src/core/layers/layers.cpp.o.d"
+  "/root/repo/src/core/layers/recurrent.cpp" "CMakeFiles/latte.dir/src/core/layers/recurrent.cpp.o" "gcc" "CMakeFiles/latte.dir/src/core/layers/recurrent.cpp.o.d"
+  "/root/repo/src/core/neuron_type.cpp" "CMakeFiles/latte.dir/src/core/neuron_type.cpp.o" "gcc" "CMakeFiles/latte.dir/src/core/neuron_type.cpp.o.d"
+  "/root/repo/src/data/datasets.cpp" "CMakeFiles/latte.dir/src/data/datasets.cpp.o" "gcc" "CMakeFiles/latte.dir/src/data/datasets.cpp.o.d"
+  "/root/repo/src/engine/executor.cpp" "CMakeFiles/latte.dir/src/engine/executor.cpp.o" "gcc" "CMakeFiles/latte.dir/src/engine/executor.cpp.o.d"
+  "/root/repo/src/ir/ast.cpp" "CMakeFiles/latte.dir/src/ir/ast.cpp.o" "gcc" "CMakeFiles/latte.dir/src/ir/ast.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "CMakeFiles/latte.dir/src/ir/printer.cpp.o" "gcc" "CMakeFiles/latte.dir/src/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/visitor.cpp" "CMakeFiles/latte.dir/src/ir/visitor.cpp.o" "gcc" "CMakeFiles/latte.dir/src/ir/visitor.cpp.o.d"
+  "/root/repo/src/kernels/elementwise.cpp" "CMakeFiles/latte.dir/src/kernels/elementwise.cpp.o" "gcc" "CMakeFiles/latte.dir/src/kernels/elementwise.cpp.o.d"
+  "/root/repo/src/kernels/gemm.cpp" "CMakeFiles/latte.dir/src/kernels/gemm.cpp.o" "gcc" "CMakeFiles/latte.dir/src/kernels/gemm.cpp.o.d"
+  "/root/repo/src/kernels/im2col.cpp" "CMakeFiles/latte.dir/src/kernels/im2col.cpp.o" "gcc" "CMakeFiles/latte.dir/src/kernels/im2col.cpp.o.d"
+  "/root/repo/src/kernels/pooling.cpp" "CMakeFiles/latte.dir/src/kernels/pooling.cpp.o" "gcc" "CMakeFiles/latte.dir/src/kernels/pooling.cpp.o.d"
+  "/root/repo/src/kernels/softmax.cpp" "CMakeFiles/latte.dir/src/kernels/softmax.cpp.o" "gcc" "CMakeFiles/latte.dir/src/kernels/softmax.cpp.o.d"
+  "/root/repo/src/models/models.cpp" "CMakeFiles/latte.dir/src/models/models.cpp.o" "gcc" "CMakeFiles/latte.dir/src/models/models.cpp.o.d"
+  "/root/repo/src/runtime/accelerator.cpp" "CMakeFiles/latte.dir/src/runtime/accelerator.cpp.o" "gcc" "CMakeFiles/latte.dir/src/runtime/accelerator.cpp.o.d"
+  "/root/repo/src/runtime/cluster_sim.cpp" "CMakeFiles/latte.dir/src/runtime/cluster_sim.cpp.o" "gcc" "CMakeFiles/latte.dir/src/runtime/cluster_sim.cpp.o.d"
+  "/root/repo/src/runtime/data_parallel.cpp" "CMakeFiles/latte.dir/src/runtime/data_parallel.cpp.o" "gcc" "CMakeFiles/latte.dir/src/runtime/data_parallel.cpp.o.d"
+  "/root/repo/src/solvers/solvers.cpp" "CMakeFiles/latte.dir/src/solvers/solvers.cpp.o" "gcc" "CMakeFiles/latte.dir/src/solvers/solvers.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "CMakeFiles/latte.dir/src/support/error.cpp.o" "gcc" "CMakeFiles/latte.dir/src/support/error.cpp.o.d"
+  "/root/repo/src/support/ltd_format.cpp" "CMakeFiles/latte.dir/src/support/ltd_format.cpp.o" "gcc" "CMakeFiles/latte.dir/src/support/ltd_format.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "CMakeFiles/latte.dir/src/support/rng.cpp.o" "gcc" "CMakeFiles/latte.dir/src/support/rng.cpp.o.d"
+  "/root/repo/src/support/shape.cpp" "CMakeFiles/latte.dir/src/support/shape.cpp.o" "gcc" "CMakeFiles/latte.dir/src/support/shape.cpp.o.d"
+  "/root/repo/src/support/string_utils.cpp" "CMakeFiles/latte.dir/src/support/string_utils.cpp.o" "gcc" "CMakeFiles/latte.dir/src/support/string_utils.cpp.o.d"
+  "/root/repo/src/support/tensor.cpp" "CMakeFiles/latte.dir/src/support/tensor.cpp.o" "gcc" "CMakeFiles/latte.dir/src/support/tensor.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "CMakeFiles/latte.dir/src/support/thread_pool.cpp.o" "gcc" "CMakeFiles/latte.dir/src/support/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/baselines_test.cpp" "CMakeFiles/latte_tests.dir/tests/baselines/baselines_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/baselines/baselines_test.cpp.o.d"
+  "/root/repo/tests/compiler/analysis_test.cpp" "CMakeFiles/latte_tests.dir/tests/compiler/analysis_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/compiler/analysis_test.cpp.o.d"
+  "/root/repo/tests/compiler/codegen_test.cpp" "CMakeFiles/latte_tests.dir/tests/compiler/codegen_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/compiler/codegen_test.cpp.o.d"
+  "/root/repo/tests/compiler/compile_exec_test.cpp" "CMakeFiles/latte_tests.dir/tests/compiler/compile_exec_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/compiler/compile_exec_test.cpp.o.d"
+  "/root/repo/tests/compiler/fidelity_test.cpp" "CMakeFiles/latte_tests.dir/tests/compiler/fidelity_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/compiler/fidelity_test.cpp.o.d"
+  "/root/repo/tests/compiler/passes_test.cpp" "CMakeFiles/latte_tests.dir/tests/compiler/passes_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/compiler/passes_test.cpp.o.d"
+  "/root/repo/tests/compiler/property_sweep_test.cpp" "CMakeFiles/latte_tests.dir/tests/compiler/property_sweep_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/compiler/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/core/graph_test.cpp" "CMakeFiles/latte_tests.dir/tests/core/graph_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/core/graph_test.cpp.o.d"
+  "/root/repo/tests/core/recurrent_test.cpp" "CMakeFiles/latte_tests.dir/tests/core/recurrent_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/core/recurrent_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_test.cpp" "CMakeFiles/latte_tests.dir/tests/engine/engine_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/engine/engine_test.cpp.o.d"
+  "/root/repo/tests/ir/ast_test.cpp" "CMakeFiles/latte_tests.dir/tests/ir/ast_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/ir/ast_test.cpp.o.d"
+  "/root/repo/tests/kernels/elementwise_test.cpp" "CMakeFiles/latte_tests.dir/tests/kernels/elementwise_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/kernels/elementwise_test.cpp.o.d"
+  "/root/repo/tests/kernels/gemm_test.cpp" "CMakeFiles/latte_tests.dir/tests/kernels/gemm_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/kernels/gemm_test.cpp.o.d"
+  "/root/repo/tests/kernels/im2col_pool_test.cpp" "CMakeFiles/latte_tests.dir/tests/kernels/im2col_pool_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/kernels/im2col_pool_test.cpp.o.d"
+  "/root/repo/tests/runtime/runtime_test.cpp" "CMakeFiles/latte_tests.dir/tests/runtime/runtime_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/runtime/runtime_test.cpp.o.d"
+  "/root/repo/tests/solvers/solvers_test.cpp" "CMakeFiles/latte_tests.dir/tests/solvers/solvers_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/solvers/solvers_test.cpp.o.d"
+  "/root/repo/tests/support/misc_test.cpp" "CMakeFiles/latte_tests.dir/tests/support/misc_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/support/misc_test.cpp.o.d"
+  "/root/repo/tests/support/rng_test.cpp" "CMakeFiles/latte_tests.dir/tests/support/rng_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/support/rng_test.cpp.o.d"
+  "/root/repo/tests/support/shape_test.cpp" "CMakeFiles/latte_tests.dir/tests/support/shape_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/support/shape_test.cpp.o.d"
+  "/root/repo/tests/support/tensor_test.cpp" "CMakeFiles/latte_tests.dir/tests/support/tensor_test.cpp.o" "gcc" "CMakeFiles/latte_tests.dir/tests/support/tensor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/latte.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_ops.dir/bench/layer_ops.cpp.o"
+  "CMakeFiles/layer_ops.dir/bench/layer_ops.cpp.o.d"
+  "bench/layer_ops"
+  "bench/layer_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

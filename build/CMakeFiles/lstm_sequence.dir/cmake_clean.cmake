@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lstm_sequence.dir/examples/lstm_sequence.cpp.o"
+  "CMakeFiles/lstm_sequence.dir/examples/lstm_sequence.cpp.o.d"
+  "examples/lstm_sequence"
+  "examples/lstm_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lstm_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist_convnet.dir/examples/mnist_convnet.cpp.o"
+  "CMakeFiles/mnist_convnet.dir/examples/mnist_convnet.cpp.o.d"
+  "examples/mnist_convnet"
+  "examples/mnist_convnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist_convnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
