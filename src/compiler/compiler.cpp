@@ -4,6 +4,7 @@
 
 #include "compiler/passes.h"
 #include "compiler/synthesis.h"
+#include "ir/printer.h"
 
 using namespace latte;
 using namespace latte::compiler;
@@ -13,4 +14,48 @@ Program compiler::compile(const core::Net &Net, const CompileOptions &Opts) {
   SynthesisResult Tasks = synthesize(Net, Opts, Prog);
   assemblePrograms(std::move(Tasks), Opts, Prog);
   return Prog;
+}
+
+std::vector<PassStage> compiler::compileStaged(const core::Net &Net,
+                                               const CompileOptions &Opts) {
+  // Each stage flips one switch on top of the previous stage's options.
+  CompileOptions Cur = Opts;
+  Cur.PatternMatchGemm = false;
+  Cur.PatternMatchKernels = false;
+  Cur.Tiling = false;
+  Cur.Fusion = false;
+  Cur.Parallelize = false;
+  Cur.VectorKernels = false;
+
+  struct Switch {
+    const char *Name;
+    bool CompileOptions::*Member;
+  };
+  static constexpr Switch Pipeline[] = {
+      {"+vector-kernels", &CompileOptions::VectorKernels},
+      {"+gemm", &CompileOptions::PatternMatchGemm},
+      {"+kernels", &CompileOptions::PatternMatchKernels},
+      {"+tiling", &CompileOptions::Tiling},
+      {"+fusion", &CompileOptions::Fusion},
+      {"+parallelize", &CompileOptions::Parallelize},
+  };
+
+  std::vector<PassStage> Stages;
+  auto AddStage = [&](const char *Name) {
+    PassStage S;
+    S.Name = Name;
+    S.Opts = Cur;
+    S.Prog = compile(Net, Cur);
+    S.ForwardIR = ir::printStmt(S.Prog.Forward.get());
+    S.BackwardIR = ir::printStmt(S.Prog.Backward.get());
+    Stages.push_back(std::move(S));
+  };
+  AddStage("baseline");
+  for (const Switch &Sw : Pipeline) {
+    if (!(Opts.*(Sw.Member)))
+      continue;
+    Cur.*(Sw.Member) = true;
+    AddStage(Sw.Name);
+  }
+  return Stages;
 }

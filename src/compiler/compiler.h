@@ -13,12 +13,36 @@
 #include "compiler/program.h"
 #include "core/graph.h"
 
+#include <string>
+#include <vector>
+
 namespace latte {
 namespace compiler {
 
 /// Compiles \p Net into an executable Program under \p Opts. Fatal error on
 /// unsupported constructs (non-recurrent cycles, unknown field references).
 Program compile(const core::Net &Net, const CompileOptions &Opts = {});
+
+/// One snapshot of the optimization pipeline: the program as it stands with
+/// only the switches up to (and including) this stage enabled. Compilation
+/// is deterministic, so executing successive stages localizes which pass
+/// first introduces a divergence (verify::localizeDivergence drives this).
+struct PassStage {
+  std::string Name;    ///< "baseline", "+gemm", "+kernels", "+tiling", ...
+  CompileOptions Opts; ///< the cumulative switch set of this stage
+  Program Prog;        ///< full compilation result under Opts
+  std::string ForwardIR;  ///< printed forward program (debugging aid)
+  std::string BackwardIR; ///< printed backward program
+};
+
+/// Compiles \p Net once per pipeline stage, cumulatively enabling the
+/// optimization switches that are on in \p Opts (canonical order: vector
+/// kernels, GEMM pattern matching, kernel pattern matching, tiling, fusion,
+/// parallelization). The first stage is always the fully-unoptimized
+/// baseline; the last equals compile(Net, Opts). Switches disabled in
+/// \p Opts contribute no stage.
+std::vector<PassStage> compileStaged(const core::Net &Net,
+                                     const CompileOptions &Opts = {});
 
 } // namespace compiler
 } // namespace latte

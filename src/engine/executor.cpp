@@ -177,6 +177,11 @@ void Executor::initParams(uint64_t Seed) {
 }
 
 void Executor::forward() {
+  // Deterministic mode: every forward pass draws the same dropout masks, so
+  // repeated forwards over the same inputs are bitwise identical (finite
+  // differencing and cross-variant comparisons rely on this).
+  if (Opts.Deterministic)
+    DropoutRng = Rng(Opts.Seed ^ 0xd20b0a7);
   for (const BufferInfo &B : Prog.Buffers)
     if (B.ZeroOnForward)
       kernels::zero(buffer(B.Name).Data, buffer(B.Name).Count);
@@ -194,8 +199,9 @@ void Executor::backward() {
   Env E;
   // Parallel backward races on parameter gradients; only the lossy mode
   // (§3.1) permits that. Synchronized mode executes the batch loop
-  // serially.
-  E.AllowParallel = Opts.Parallel && Opts.LossyGradients;
+  // serially, and deterministic mode always does.
+  E.AllowParallel =
+      Opts.Parallel && Opts.LossyGradients && !Opts.Deterministic;
   execStmt(Prog.Backward.get(), E);
 }
 

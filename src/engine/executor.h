@@ -38,6 +38,13 @@ struct ExecOptions {
   /// serializes the backward batch loop instead — the "synchronized
   /// reduction" mode, trading performance for determinism.
   bool LossyGradients = false;
+  /// Fully reproducible execution, used by the verification tooling
+  /// (verify::runLattice / verify::gradCheck): the dropout RNG is re-seeded
+  /// at the top of every forward pass (so repeated forwards with identical
+  /// inputs produce bitwise-identical outputs, a precondition for finite
+  /// differencing), and LossyGradients is ignored in backward (no racing
+  /// accumulation). Race-free parallel forward loops are unaffected.
+  bool Deterministic = false;
   uint64_t Seed = 0x5eed;
 };
 

@@ -7,6 +7,22 @@
 
 using namespace latte;
 
+namespace {
+
+/// Set while the current thread is executing inside a parallelRun job (on
+/// either a worker or the submitting thread). Re-entrant calls would
+/// deadlock — the workers are busy with the outer job — so nested
+/// parallelFor/parallelRun calls detect this flag and degrade to serial
+/// inline execution.
+thread_local bool InParallelRegion = false;
+
+struct ParallelRegionGuard {
+  ParallelRegionGuard() { InParallelRegion = true; }
+  ~ParallelRegionGuard() { InParallelRegion = false; }
+};
+
+} // namespace
+
 ThreadPool::ThreadPool(int NumThreads) {
   if (NumThreads <= 0)
     NumThreads = std::max(1u, std::thread::hardware_concurrency());
@@ -38,7 +54,10 @@ void ThreadPool::workerLoop(int WorkerIndex) {
       SeenEpoch = Epoch;
       Fn = Current;
     }
-    Fn(WorkerIndex);
+    {
+      ParallelRegionGuard Guard;
+      Fn(WorkerIndex);
+    }
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       if (--Remaining == 0)
@@ -48,7 +67,10 @@ void ThreadPool::workerLoop(int WorkerIndex) {
 }
 
 void ThreadPool::parallelRun(const std::function<void(int)> &Fn) {
-  if (Workers.empty()) {
+  if (Workers.empty() || InParallelRegion) {
+    // Serial fallback: no helpers, or a nested call from inside a running
+    // job (dispatching to the pool again would deadlock).
+    ParallelRegionGuard Guard;
     Fn(0);
     return;
   }
@@ -59,7 +81,10 @@ void ThreadPool::parallelRun(const std::function<void(int)> &Fn) {
     ++Epoch;
   }
   WakeWorkers.notify_all();
-  Fn(0);
+  {
+    ParallelRegionGuard Guard;
+    Fn(0);
+  }
   std::unique_lock<std::mutex> Lock(Mutex);
   JobDone.wait(Lock, [&] { return Remaining == 0; });
 }
@@ -69,7 +94,9 @@ void ThreadPool::parallelFor(int64_t N,
   if (N <= 0)
     return;
   int T = numThreads();
-  if (T == 1 || N == 1) {
+  if (T == 1 || N == 1 || InParallelRegion) {
+    // Nested calls must cover the whole range themselves: the parallelRun
+    // fallback would only execute thread 0's partition.
     for (int64_t I = 0; I < N; ++I)
       Fn(I);
     return;

@@ -33,10 +33,13 @@ public:
 
   /// Runs Fn(I) for I in [0, N), splitting the range statically across the
   /// pool (the calling thread participates). Blocks until all complete.
+  /// Nested calls (from inside a running parallelFor/parallelRun job)
+  /// execute the whole range serially on the calling thread.
   void parallelFor(int64_t N, const std::function<void(int64_t)> &Fn);
 
   /// Runs Fn(ThreadIndex) once on every pool thread plus the caller.
-  /// ThreadIndex ranges over [0, numThreads()).
+  /// ThreadIndex ranges over [0, numThreads()). Nested calls run
+  /// Fn(0) inline on the calling thread only.
   void parallelRun(const std::function<void(int)> &Fn);
 
 private:

@@ -1,0 +1,128 @@
+//===- verify/gradcheck.cpp -----------------------------------*- C++ -*-===//
+
+#include "verify/gradcheck.h"
+
+#include "support/error.h"
+
+#include <cmath>
+#include <sstream>
+
+using namespace latte;
+using namespace latte::verify;
+using namespace latte::compiler;
+
+namespace {
+
+/// Buffers to perturb: the value buffer whose elements are the independent
+/// variables, and the gradient buffer holding the analytic derivative.
+struct CheckTarget {
+  std::string ValueBuffer;
+  std::string GradBuffer;
+};
+
+} // namespace
+
+std::string GradCheckReport::summary() const {
+  std::ostringstream Os;
+  if (Passed) {
+    Os << "gradCheck PASSED: " << NumChecked << " elements";
+    if (Seed)
+      Os << " (seed 0x" << std::hex << Seed << ")";
+    return Os.str();
+  }
+  Os << "gradCheck FAILED (" << Failures.size() << " of " << NumChecked
+     << " elements";
+  if (Seed)
+    Os << "; reproduce with seed 0x" << std::hex << Seed << std::dec;
+  Os << "):\n";
+  for (const GradCheckFailure &F : Failures)
+    Os << "  " << F.Buffer << "[" << F.Index << "]: analytic=" << F.Analytic
+       << " numeric=" << F.Numeric
+       << " |diff|=" << std::fabs(F.Analytic - F.Numeric) << "\n";
+  return Os.str();
+}
+
+GradCheckReport verify::gradCheck(engine::Executor &Ex,
+                                  const GradCheckOptions &Opts) {
+  const Program &Prog = Ex.program();
+  if (Prog.LossBuffer.empty())
+    reportFatalError("gradCheck: program has no loss ensemble");
+
+  // Capture the caller-set input before any forward pass: an in-place
+  // activation on the data ensemble overwrites the data buffer during
+  // forward, so it must be restored before every re-evaluation.
+  Tensor Input;
+  if (!Prog.DataBuffer.empty())
+    Input = Ex.readBuffer(Prog.DataBuffer);
+
+  std::string DataGradBuffer;
+  if (Opts.CheckDataGrad && !Prog.DataBuffer.empty()) {
+    const std::string Suffix = "_value";
+    if (Prog.DataBuffer.size() > Suffix.size() &&
+        Prog.DataBuffer.compare(Prog.DataBuffer.size() - Suffix.size(),
+                                Suffix.size(), Suffix) == 0) {
+      std::string Candidate =
+          Prog.DataBuffer.substr(0, Prog.DataBuffer.size() - Suffix.size()) +
+          "_grad";
+      if (Prog.findBuffer(Candidate))
+        DataGradBuffer = Candidate;
+    }
+  }
+
+  auto LossAfterWrite = [&](const std::string &Buffer, const Tensor &T) {
+    if (!Input.empty() && Buffer != Prog.DataBuffer)
+      Ex.writeBuffer(Prog.DataBuffer, Input);
+    Ex.writeBuffer(Buffer, T);
+    Ex.forward();
+    return Ex.lossValue();
+  };
+
+  // One analytic pass, then snapshot every gradient we intend to check.
+  Ex.forward();
+  Ex.backward();
+
+  std::vector<CheckTarget> Targets;
+  if (Opts.CheckParamGrads)
+    for (const ParamBinding &B : Prog.Params)
+      Targets.push_back({B.Param, B.Grad});
+  if (!DataGradBuffer.empty())
+    Targets.push_back({Prog.DataBuffer, DataGradBuffer});
+
+  GradCheckReport Report;
+  Report.Seed = Opts.Seed;
+  for (const CheckTarget &T : Targets) {
+    Tensor Analytic = Ex.readBuffer(T.GradBuffer);
+    // The data buffer was captured pre-forward; parameters are not written
+    // by forward/backward, so reading them now is safe.
+    Tensor Values = T.ValueBuffer == Prog.DataBuffer
+                        ? Input
+                        : Ex.readBuffer(T.ValueBuffer);
+    int64_t N = Values.numElements();
+    int64_t Step = std::max<int64_t>(1, N / Opts.MaxChecksPerBuffer);
+    for (int64_t I = 0; I < N; I += Step) {
+      float Orig = Values.at(I);
+      Values.at(I) = Orig + Opts.Eps;
+      double Plus = LossAfterWrite(T.ValueBuffer, Values);
+      Values.at(I) = Orig - Opts.Eps;
+      double Minus = LossAfterWrite(T.ValueBuffer, Values);
+      Values.at(I) = Orig;
+      Ex.writeBuffer(T.ValueBuffer, Values);
+
+      double Numeric = (Plus - Minus) / (2.0 * Opts.Eps);
+      double A = Analytic.at(I);
+      ++Report.NumChecked;
+      double Scale = std::max(std::fabs(A), std::fabs(Numeric));
+      if (std::fabs(A - Numeric) > Opts.AbsTol + Opts.RelTol * Scale) {
+        Report.Passed = false;
+        Report.Failures.push_back({T.GradBuffer, I, A, Numeric});
+      }
+    }
+  }
+
+  // Leave the executor with gradients consistent with its buffers.
+  if (!Input.empty())
+    Ex.writeBuffer(Prog.DataBuffer, Input);
+  Ex.forward();
+  Ex.backward();
+  return Report;
+}

@@ -1,0 +1,100 @@
+//===- tests/runtime/determinism_test.cpp ---------------------*- C++ -*-===//
+///
+/// Determinism regression: two DataParallelTrainer runs with the same seed
+/// in synchronized mode must produce bitwise-identical parameters after
+/// several steps. Lossy mode races by design (§3.1 / Figure 20) and is
+/// only required to run, not to reproduce.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/layers/layers.h"
+#include "models/models.h"
+#include "runtime/data_parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace latte;
+using namespace latte::runtime;
+
+namespace {
+
+NetBuilder builder() {
+  return [](core::Net &Net) {
+    models::ModelSpec Spec = models::mlp(8, {12, 6}, 3);
+    models::buildLatte(Net, Spec, /*WithLoss=*/true);
+  };
+}
+
+Tensor dataBatch(int64_t Batch, uint64_t Seed) {
+  Rng R(Seed);
+  Tensor T(Shape{Batch, 8});
+  R.fillGaussian(T, 0.0f, 1.0f);
+  return T;
+}
+
+Tensor labelBatch(int64_t Batch) {
+  Tensor T(Shape{Batch});
+  for (int64_t I = 0; I < Batch; ++I)
+    T.at(I) = static_cast<float>(I % 3);
+  return T;
+}
+
+/// Runs \p Steps training steps and returns the final master parameters.
+std::vector<std::pair<std::string, Tensor>> train(bool Lossy, uint64_t Seed,
+                                                  int Steps) {
+  const int64_t Batch = 8;
+  DataParallelOptions O;
+  O.NumWorkers = 2;
+  O.LossyGradients = Lossy;
+  O.Seed = Seed;
+  DataParallelTrainer T(builder(), Batch, O);
+  solvers::SolverParameters P;
+  P.Lr = solvers::LRPolicy::fixed(0.1);
+  P.Momentum = solvers::MomPolicy::fixed(0.9);
+  solvers::SgdSolver S(P);
+  for (int Iter = 0; Iter < Steps; ++Iter)
+    T.trainStep(dataBatch(Batch, Seed + Iter), labelBatch(Batch), S, Iter);
+  std::vector<std::pair<std::string, Tensor>> Params;
+  for (const compiler::ParamBinding &B : T.worker(0).program().Params)
+    Params.emplace_back(B.Param, T.worker(0).readBuffer(B.Param));
+  return Params;
+}
+
+} // namespace
+
+TEST(DeterminismTest, SynchronizedRunsAreBitwiseIdentical) {
+  auto A = train(/*Lossy=*/false, 0x5eed, 5);
+  auto B = train(/*Lossy=*/false, 0x5eed, 5);
+  ASSERT_EQ(A.size(), B.size());
+  ASSERT_FALSE(A.empty());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].first, B[I].first);
+    // Zero tolerance: bitwise equality, not closeness.
+    EXPECT_EQ(A[I].second.firstMismatch(B[I].second, 0.0f), -1)
+        << A[I].first;
+  }
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  // Sanity check that the seed actually matters (otherwise the test above
+  // proves nothing).
+  auto A = train(false, 0x5eed, 3);
+  auto B = train(false, 0xfeed, 3);
+  bool AnyDiff = false;
+  for (size_t I = 0; I < A.size(); ++I)
+    AnyDiff |= A[I].second.firstMismatch(B[I].second, 0.0f) != -1;
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(DeterminismTest, LossyModeRunsButMayDiffer) {
+  // Lossy gradient accumulation is explicitly allowed to differ between
+  // runs (unsynchronized updates race). It must still train without
+  // crashing and produce finite parameters.
+  auto A = train(/*Lossy=*/true, 0x5eed, 5);
+  ASSERT_FALSE(A.empty());
+  for (const auto &[Name, T] : A)
+    for (int64_t I = 0; I < T.numElements(); ++I)
+      ASSERT_TRUE(std::isfinite(T.at(I))) << Name << "[" << I << "]";
+}

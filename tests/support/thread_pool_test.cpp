@@ -1,0 +1,95 @@
+//===- tests/support/thread_pool_test.cpp ---------------------*- C++ -*-===//
+///
+/// ThreadPool edge cases: empty and tiny ranges, ranges smaller than the
+/// worker count, and nested parallelFor/parallelRun calls (which must
+/// degrade to serial execution instead of deadlocking on the busy pool).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+using namespace latte;
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  ThreadPool Pool(4);
+  std::atomic<int> Calls{0};
+  Pool.parallelFor(0, [&](int64_t) { ++Calls; });
+  Pool.parallelFor(-3, [&](int64_t) { ++Calls; });
+  EXPECT_EQ(Calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, RangeSmallerThanPool) {
+  // N < numThreads(): every index still runs exactly once, none twice.
+  ThreadPool Pool(8);
+  ASSERT_GT(Pool.numThreads(), 3);
+  std::vector<std::atomic<int>> Hits(3);
+  Pool.parallelFor(3, [&](int64_t I) { ++Hits[I]; });
+  for (const auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleElementRange) {
+  ThreadPool Pool(4);
+  std::atomic<int> Calls{0};
+  Pool.parallelFor(1, [&](int64_t I) {
+    EXPECT_EQ(I, 0);
+    ++Calls;
+  });
+  EXPECT_EQ(Calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, CoversLargeRangeExactlyOnce) {
+  const int64_t N = 10007; // prime: exercises a ragged final chunk
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&](int64_t I) { ++Hits[I]; });
+  int64_t Total = 0;
+  for (const auto &H : Hits) {
+    EXPECT_EQ(H.load(), 1);
+    Total += H.load();
+  }
+  EXPECT_EQ(Total, N);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsSerially) {
+  // A parallelFor issued from inside a running parallelFor job must not
+  // deadlock (the workers are busy with the outer job) and must still
+  // cover the whole inner range.
+  const int64_t Outer = 8, Inner = 16;
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Hits(Outer * Inner);
+  Pool.parallelFor(Outer, [&](int64_t O) {
+    Pool.parallelFor(Inner, [&](int64_t I) { ++Hits[O * Inner + I]; });
+  });
+  for (const auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelRunRunsInline) {
+  ThreadPool Pool(4);
+  std::atomic<int> OuterCalls{0}, InnerCalls{0};
+  Pool.parallelRun([&](int) {
+    ++OuterCalls;
+    // Inline fallback: runs Fn(0) once on this thread.
+    Pool.parallelRun([&](int Idx) {
+      EXPECT_EQ(Idx, 0);
+      ++InnerCalls;
+    });
+  });
+  EXPECT_EQ(OuterCalls.load(), Pool.numThreads());
+  EXPECT_EQ(InnerCalls.load(), Pool.numThreads());
+}
+
+TEST(ThreadPoolTest, PoolOfOneRunsEverythingInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.numThreads(), 1);
+  int64_t Sum = 0; // no atomics needed: single thread
+  Pool.parallelFor(100, [&](int64_t I) { Sum += I; });
+  EXPECT_EQ(Sum, 99 * 100 / 2);
+}
