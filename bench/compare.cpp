@@ -1,0 +1,69 @@
+//===- bench/compare.cpp - BENCH json regression gate ---------*- C++ -*-===//
+///
+/// CLI over support/bench_compare.h: diffs two `BENCH_<fig>.json` files
+/// and exits nonzero when any timing row regressed past the threshold.
+/// CI's bench-smoke job runs this against the checked-in baseline
+/// (bench/baselines/) with a generous threshold so only gross regressions
+/// gate merges.
+///
+///   bench/compare old.json new.json [--threshold 1.5]
+///
+/// Exit codes: 0 = within threshold, 1 = regression, 2 = usage/parse error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/bench_compare.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace latte;
+
+int main(int argc, char **argv) {
+  std::string OldPath, NewPath;
+  double Threshold = 1.5;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--threshold") == 0 && I + 1 < argc) {
+      Threshold = std::atof(argv[++I]);
+    } else if (std::strcmp(argv[I], "--help") == 0) {
+      std::printf("usage: compare old.json new.json [--threshold R]\n");
+      return 0;
+    } else if (OldPath.empty()) {
+      OldPath = argv[I];
+    } else if (NewPath.empty()) {
+      NewPath = argv[I];
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", argv[I]);
+      return 2;
+    }
+  }
+  if (OldPath.empty() || NewPath.empty() || Threshold <= 1.0) {
+    std::fprintf(stderr,
+                 "usage: compare old.json new.json [--threshold R>1]\n");
+    return 2;
+  }
+
+  std::string Err;
+  json::Value Old = json::parseFile(OldPath, &Err);
+  if (Old.isNull()) {
+    std::fprintf(stderr, "error reading '%s': %s\n", OldPath.c_str(),
+                 Err.c_str());
+    return 2;
+  }
+  json::Value New = json::parseFile(NewPath, &Err);
+  if (New.isNull()) {
+    std::fprintf(stderr, "error reading '%s': %s\n", NewPath.c_str(),
+                 Err.c_str());
+    return 2;
+  }
+
+  bench::CompareResult R = bench::compareBenchJson(Old, New, Threshold);
+  std::fputs(bench::formatCompareReport(R, Threshold).c_str(), stdout);
+  if (R.Compared.empty()) {
+    std::fprintf(stderr, "no comparable metrics found\n");
+    return 2;
+  }
+  return R.ok() ? 0 : 1;
+}

@@ -13,6 +13,11 @@
 /// parallelization factor scales with the machine's cores (the paper had
 /// 36; see EXPERIMENTS.md).
 ///
+/// `--json BENCH_fig13.json` additionally emits the machine-readable
+/// summary (timing rows, per-pass compile times, per-task execution spans,
+/// counters) that bench/compare diffs in CI; `--trace trace.json` emits a
+/// Chrome trace. `--scale/--batch/--reps` shrink the run for smoke tests.
+///
 //===----------------------------------------------------------------------===//
 
 #include "harness.h"
@@ -21,30 +26,31 @@ using namespace latte;
 using namespace latte::bench;
 using namespace latte::compiler;
 
-int main() {
-  const double Scale = 1.0; // full 224x224, as in the paper
-  const int64_t Batch = 2;
-  models::ModelSpec Spec = models::vggFirstThreeLayers(Scale);
+int main(int argc, char **argv) {
+  // Defaults match the paper: full 224x224, batch 2.
+  BenchOptions BO = parseBenchArgs(argc, argv, /*DefScale=*/1.0,
+                                   /*DefBatch=*/2, /*DefReps=*/3);
+  models::ModelSpec Spec = models::vggFirstThreeLayers(BO.Scale);
 
   printHeader("Figure 13: cross-layer fusion microbenchmark "
               "(first 3 layers of VGG)",
-              "conv3-64 + ReLU + maxpool2 at " +
-                  Spec.InputDims.str() + ", batch " + std::to_string(Batch));
+              "conv3-64 + ReLU + maxpool2 at " + Spec.InputDims.str() +
+                  ", batch " + std::to_string(BO.Batch));
 
-  PassTimes Caffe = timeBaseline(Spec, Batch, /*Naive=*/false);
+  PassTimes Caffe = timeBaseline(Spec, BO.Batch, /*Naive=*/false, BO.Reps);
 
   CompileOptions Base; // pattern matching + parallel loops; no cross-layer
   Base.Tiling = false;
   Base.Fusion = false;
-  PassTimes LatteBase = timeLatte(Spec, Batch, Base);
+  PassTimes LatteBase = timeLatte(Spec, BO.Batch, Base, BO.Reps);
 
   CompileOptions Full; // + tiling + fusion (the paper's full stack)
   Full.TileSize = 8;
-  PassTimes LatteFull = timeLatte(Spec, Batch, Full);
+  PassTimes LatteFull = timeLatte(Spec, BO.Batch, Full, BO.Reps);
 
   CompileOptions NoVec = Full; // ablate vectorized kernels
   NoVec.VectorKernels = false;
-  PassTimes LatteNoVec = timeLatte(Spec, Batch, NoVec);
+  PassTimes LatteNoVec = timeLatte(Spec, BO.Batch, NoVec, BO.Reps);
 
   std::printf("\n-- Latte (no cross-layer optimizations) vs Caffe --\n");
   printSpeedupRow("forward", Caffe.FwdSec, LatteBase.FwdSec, ">7x (36c)");
@@ -71,5 +77,19 @@ int main() {
   std::printf("\nvectorization gain: %.2fx; cross-layer gain: %.2fx\n",
               LatteNoVec.total() / LatteFull.total(),
               LatteBase.total() / LatteFull.total());
+
+  if (BO.profiling()) {
+    BenchReport R("fig13", BO);
+    R.addRow("caffe", Caffe);
+    R.addRow("latte_no_crosslayer", LatteBase);
+    R.addRow("latte_full", LatteFull);
+    R.addRow("latte_full_scalar", LatteNoVec);
+    // Per-pass compile timing over the full optimization pipeline.
+    core::Net Net(BO.Batch);
+    models::buildLatte(Net, Spec, /*WithLoss=*/true);
+    R.addCompileStages(compiler::compileStaged(Net, Full));
+    if (!R.finish())
+      return 1;
+  }
   return 0;
 }

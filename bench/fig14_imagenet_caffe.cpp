@@ -6,6 +6,10 @@
 /// fully-connected GEMMs that both systems execute with the same library
 /// kernel — the same effect is visible here).
 ///
+/// `--json BENCH_fig14.json` emits the machine-readable summary for
+/// bench/compare; `--trace` a Chrome trace. `--scale/--batch/--reps`
+/// shrink the run.
+///
 //===----------------------------------------------------------------------===//
 
 #include "harness.h"
@@ -13,26 +17,34 @@
 using namespace latte;
 using namespace latte::bench;
 
-int main() {
-  const double Scale = 0.5;
-  const int64_t Batch = 1;
+int main(int argc, char **argv) {
+  BenchOptions BO = parseBenchArgs(argc, argv, /*DefScale=*/0.5,
+                                   /*DefBatch=*/1, /*DefReps=*/2);
   struct Row {
     models::ModelSpec Spec;
+    const char *Key; ///< stable row-label stem for the JSON output
     const char *Paper;
   };
   Row Rows[] = {
-      {models::alexNet(Scale), "5.4x (36c)"},
-      {models::overfeat(Scale), "3.2x (36c)"},
-      {models::vggA(Scale), "5.8x (36c)"},
+      {models::alexNet(BO.Scale), "alexnet", "5.4x (36c)"},
+      {models::overfeat(BO.Scale), "overfeat", "3.2x (36c)"},
+      {models::vggA(BO.Scale), "vgg_a", "5.8x (36c)"},
   };
 
   printHeader("Figure 14: speedup of Latte over Caffe on ImageNet models",
-              "spatial scale " + std::to_string(Scale) + ", batch " +
-                  std::to_string(Batch) + ", forward+backward");
-  for (Row &R : Rows) {
-    PassTimes Caffe = timeBaseline(R.Spec, Batch, /*Naive=*/false, 2);
-    PassTimes Latte = timeLatte(R.Spec, Batch, {}, 2);
-    printSpeedupRow(R.Spec.Name, Caffe.total(), Latte.total(), R.Paper);
+              "spatial scale " + std::to_string(BO.Scale) + ", batch " +
+                  std::to_string(BO.Batch) + ", forward+backward");
+  BenchReport R("fig14", BO);
+  for (Row &Item : Rows) {
+    PassTimes Caffe =
+        timeBaseline(Item.Spec, BO.Batch, /*Naive=*/false, BO.Reps);
+    PassTimes Latte = timeLatte(Item.Spec, BO.Batch, {}, BO.Reps);
+    printSpeedupRow(Item.Spec.Name, Caffe.total(), Latte.total(),
+                    Item.Paper);
+    R.addRow(std::string(Item.Key) + "_caffe", Caffe);
+    R.addRow(std::string(Item.Key) + "_latte", Latte);
   }
+  if (BO.profiling() && !R.finish())
+    return 1;
   return 0;
 }

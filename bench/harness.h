@@ -23,11 +23,21 @@
 #include "compiler/compiler.h"
 #include "engine/executor.h"
 #include "models/models.h"
+#include "support/json.h"
+#include "support/profile.h"
 #include "support/timer.h"
+#include "support/trace_json.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
 
 namespace latte {
 namespace bench {
@@ -36,6 +46,197 @@ struct PassTimes {
   double FwdSec = 0.0;
   double BwdSec = 0.0;
   double total() const { return FwdSec + BwdSec; }
+};
+
+/// Common CLI surface of the figure binaries:
+///
+///   fig13_microbench [--scale S] [--batch N] [--reps N]
+///                    [--json BENCH_fig13.json] [--trace trace.json]
+///
+/// `--json` emits the machine-readable BENCH summary (rows, per-pass
+/// compile times, per-task execution spans, counters, git sha, host info)
+/// consumed by bench/compare and CI; `--trace` emits a Chrome trace_event
+/// file loadable in chrome://tracing or https://ui.perfetto.dev. Either
+/// flag turns the global profiler on.
+struct BenchOptions {
+  double Scale = 1.0;
+  int64_t Batch = 1;
+  int Reps = 3;
+  std::string JsonPath;
+  std::string TracePath;
+
+  bool profiling() const { return !JsonPath.empty() || !TracePath.empty(); }
+};
+
+inline BenchOptions parseBenchArgs(int Argc, char **Argv, double DefScale,
+                                   int64_t DefBatch, int DefReps = 3) {
+  BenchOptions O;
+  O.Scale = DefScale;
+  O.Batch = DefBatch;
+  O.Reps = DefReps;
+  auto NeedValue = [&](int I) {
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "missing value for %s\n", Argv[I]);
+      std::exit(2);
+    }
+    return Argv[I + 1];
+  };
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--scale") == 0)
+      O.Scale = std::atof(NeedValue(I++));
+    else if (std::strcmp(Argv[I], "--batch") == 0)
+      O.Batch = std::atoll(NeedValue(I++));
+    else if (std::strcmp(Argv[I], "--reps") == 0)
+      O.Reps = std::atoi(NeedValue(I++));
+    else if (std::strcmp(Argv[I], "--json") == 0)
+      O.JsonPath = NeedValue(I++);
+    else if (std::strcmp(Argv[I], "--trace") == 0)
+      O.TracePath = NeedValue(I++);
+    else if (std::strcmp(Argv[I], "--help") == 0) {
+      std::printf("usage: %s [--scale S] [--batch N] [--reps N] "
+                  "[--json out.json] [--trace out.json]\n",
+                  Argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s' (see --help)\n", Argv[I]);
+      std::exit(2);
+    }
+  }
+  if (O.Scale <= 0 || O.Batch <= 0 || O.Reps <= 0) {
+    std::fprintf(stderr, "--scale/--batch/--reps must be positive\n");
+    std::exit(2);
+  }
+  if (O.profiling())
+    prof::Profiler::get().setEnabled(true);
+  return O;
+}
+
+/// Git revision baked in at configure time (CMake passes LATTE_GIT_SHA).
+inline std::string gitSha() {
+#ifdef LATTE_GIT_SHA
+  return LATTE_GIT_SHA;
+#else
+  if (const char *Env = std::getenv("LATTE_GIT_SHA"))
+    return Env;
+  return "unknown";
+#endif
+}
+
+inline json::Value hostInfoJson() {
+  json::Value Host = json::Value::object();
+  Host.set("cpu_count",
+           static_cast<int64_t>(std::thread::hardware_concurrency()));
+#if defined(__unix__) || defined(__APPLE__)
+  struct utsname U;
+  if (uname(&U) == 0) {
+    Host.set("sysname", U.sysname);
+    Host.set("release", U.release);
+    Host.set("machine", U.machine);
+  }
+#endif
+#ifdef LATTE_HAVE_OPENMP
+  Host.set("openmp", true);
+#else
+  Host.set("openmp", false);
+#endif
+  return Host;
+}
+
+/// Accumulates a figure run into the BENCH_<fig>.json schema:
+///
+///   { "schema": "latte-bench-v1", "figure", "git_sha", "host",
+///     "config": {scale, batch, reps}, "rows": [{label, fwd_sec, bwd_sec,
+///     total_sec}], "compile_stages": [{name, sec}], "tasks": [{phase,
+///     name, count, total_sec}], "counters": {phase: {...}} }
+///
+/// finish() attaches the profiler's aggregate (per-task execution spans +
+/// counters) and writes the JSON and/or Chrome trace files requested in
+/// BenchOptions.
+class BenchReport {
+public:
+  BenchReport(std::string Figure, const BenchOptions &Opts)
+      : Opts(Opts), Doc(json::Value::object()) {
+    Doc.set("schema", "latte-bench-v1");
+    Doc.set("figure", std::move(Figure));
+    Doc.set("git_sha", gitSha());
+    Doc.set("host", hostInfoJson());
+    json::Value Config = json::Value::object();
+    Config.set("scale", Opts.Scale);
+    Config.set("batch", Opts.Batch);
+    Config.set("reps", Opts.Reps);
+    Doc.set("config", std::move(Config));
+    Doc.set("rows", json::Value::array());
+  }
+
+  void addRow(const std::string &Label, const PassTimes &T) {
+    json::Value Row = json::Value::object();
+    Row.set("label", Label);
+    Row.set("fwd_sec", T.FwdSec);
+    Row.set("bwd_sec", T.BwdSec);
+    Row.set("total_sec", T.total());
+    Doc.find("rows")->push(std::move(Row));
+  }
+
+  /// Per-pass compile times from compiler::compileStaged.
+  void addCompileStages(const std::vector<compiler::PassStage> &Stages) {
+    json::Value Arr = json::Value::array();
+    for (const compiler::PassStage &S : Stages) {
+      json::Value E = json::Value::object();
+      E.set("name", S.Name);
+      E.set("sec", S.CompileSec);
+      Arr.push(std::move(E));
+    }
+    Doc.set("compile_stages", std::move(Arr));
+  }
+
+  /// Writes the requested output files. Returns false on I/O error (after
+  /// printing a diagnostic); call once at the end of main.
+  bool finish() {
+    bool Ok = true;
+    std::string Err;
+    if (!Opts.JsonPath.empty()) {
+      // Per-task execution spans and counters from the profiler.
+      prof::Summary S = prof::Profiler::get().summary();
+      json::Value Tasks = json::Value::array();
+      for (const prof::SpanStat &St : S.Spans) {
+        json::Value E = json::Value::object();
+        E.set("phase", St.Phase);
+        E.set("name", St.Name);
+        E.set("count", St.Count);
+        E.set("total_sec", St.TotalSec);
+        Tasks.push(std::move(E));
+      }
+      Doc.set("tasks", std::move(Tasks));
+      json::Value PhaseCounters = json::Value::object();
+      for (const auto &PC : S.PhaseCounters)
+        PhaseCounters.set(PC.first.empty() ? std::string("(none)")
+                                           : PC.first,
+                          prof::countersJson(PC.second));
+      Doc.set("counters", std::move(PhaseCounters));
+      Doc.set("totals", prof::countersJson(S.Totals));
+      if (prof::writeJsonFile(Opts.JsonPath, Doc, &Err)) {
+        std::printf("\nwrote %s\n", Opts.JsonPath.c_str());
+      } else {
+        std::fprintf(stderr, "%s\n", Err.c_str());
+        Ok = false;
+      }
+    }
+    if (!Opts.TracePath.empty()) {
+      if (prof::writeChromeTrace(Opts.TracePath, &Err)) {
+        std::printf("wrote %s (load in chrome://tracing or "
+                    "https://ui.perfetto.dev)\n",
+                    Opts.TracePath.c_str());
+      } else {
+        std::fprintf(stderr, "%s\n", Err.c_str());
+        Ok = false;
+      }
+    }
+    return Ok;
+  }
+
+private:
+  BenchOptions Opts;
+  json::Value Doc;
 };
 
 inline void fillRandom(Tensor &T, uint64_t Seed) {
@@ -52,6 +253,10 @@ inline PassTimes timeLatte(const models::ModelSpec &Spec, int64_t Batch,
   engine::ExecOptions EO;
   EO.VectorKernels = Opts.VectorKernels;
   EO.Parallel = Opts.Parallelize;
+  // When the harness was asked for --json/--trace output, record per-task
+  // spans and counters during the timed reps (top-of-task granularity —
+  // well under the noise floor of bestWallTime).
+  EO.Profile = prof::enabled();
   engine::Executor Ex(compiler::compile(Net, Opts), EO);
   Ex.initParams(1);
   Tensor In(Spec.InputDims.withPrefix(Batch));

@@ -5,14 +5,25 @@
 #include "compiler/passes.h"
 #include "compiler/synthesis.h"
 #include "ir/printer.h"
+#include "support/profile.h"
+#include "support/timer.h"
 
 using namespace latte;
 using namespace latte::compiler;
 
 Program compiler::compile(const core::Net &Net, const CompileOptions &Opts) {
+  prof::ScopedPhase Phase("compile");
   Program Prog;
-  SynthesisResult Tasks = synthesize(Net, Opts, Prog);
-  assemblePrograms(std::move(Tasks), Opts, Prog);
+  SynthesisResult Tasks;
+  {
+    prof::ScopedTimer T("synthesize");
+    Tasks = synthesize(Net, Opts, Prog);
+  }
+  {
+    prof::ScopedTimer T("assemble");
+    assemblePrograms(std::move(Tasks), Opts, Prog);
+  }
+  prof::count(prof::Counter::FusionHits, Prog.Report.FusionGroups.size());
   return Prog;
 }
 
@@ -42,10 +53,14 @@ std::vector<PassStage> compiler::compileStaged(const core::Net &Net,
 
   std::vector<PassStage> Stages;
   auto AddStage = [&](const char *Name) {
+    prof::ScopedPhase Phase("compile");
+    prof::ScopedTimer Span(std::string("stage:") + Name);
     PassStage S;
     S.Name = Name;
     S.Opts = Cur;
+    Timer Wall;
     S.Prog = compile(Net, Cur);
+    S.CompileSec = Wall.seconds();
     S.ForwardIR = ir::printStmt(S.Prog.Forward.get());
     S.BackwardIR = ir::printStmt(S.Prog.Backward.get());
     Stages.push_back(std::move(S));

@@ -33,6 +33,7 @@ struct PassStage {
   Program Prog;        ///< full compilation result under Opts
   std::string ForwardIR;  ///< printed forward program (debugging aid)
   std::string BackwardIR; ///< printed backward program
+  double CompileSec = 0;  ///< wall time of this stage's compile() call
 };
 
 /// Compiles \p Net once per pipeline stage, cumulatively enabling the

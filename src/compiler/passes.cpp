@@ -88,33 +88,47 @@ public:
       : Opts(Opts), Prog(Prog) {}
 
   StmtPtr assemble(std::vector<EnsembleTask> Tasks, const char *Label,
-                   bool ReportFusion);
+                   bool ReportFusion, std::vector<TaskLabel> &Labels);
 
 private:
   void flushGroup(std::vector<StmtPtr> &Units, BatchGroup &Group,
                   bool ReportFusion);
 
+  /// Pushes a unit and its display label in lockstep (units and labels stay
+  /// parallel vectors — the engine's per-task profiler indexes by unit).
+  void pushUnit(std::vector<StmtPtr> &Units, StmtPtr S, std::string Name,
+                std::vector<std::string> Ensembles) {
+    Units.push_back(std::move(S));
+    CurLabels->push_back({std::move(Name), std::move(Ensembles)});
+  }
+
   const CompileOptions &Opts;
   Program &Prog;
+  std::vector<TaskLabel> *CurLabels = nullptr;
   int TileVarCounter = 0;
 };
 
 StmtPtr Assembler::assemble(std::vector<EnsembleTask> Tasks,
-                            const char *Label, bool ReportFusion) {
+                            const char *Label, bool ReportFusion,
+                            std::vector<TaskLabel> &Labels) {
   std::vector<StmtPtr> Units;
   BatchGroup Group;
+  CurLabels = &Labels;
 
   for (EnsembleTask &Task : Tasks) {
     bool Barrier = Task.FusionBarrier;
     if (!Task.Pre.empty() || Barrier)
       flushGroup(Units, Group, ReportFusion);
     for (StmtPtr &S : Task.Pre)
-      Units.push_back(std::move(S));
+      pushUnit(Units, std::move(S), "pre:" + Task.EnsembleName,
+               {Task.EnsembleName});
     if (Barrier)
-      Units.push_back(barrier(Task.EnsembleName));
+      pushUnit(Units, barrier(Task.EnsembleName),
+               "barrier:" + Task.EnsembleName, {Task.EnsembleName});
 
     bool HasPost = !Task.Post.empty();
     std::vector<StmtPtr> Post = std::move(Task.Post);
+    std::string PostName = Task.EnsembleName;
     if (!Task.PerItem.empty()) {
       PlannedTask P;
       P.Task = std::move(Task);
@@ -124,10 +138,12 @@ StmtPtr Assembler::assemble(std::vector<EnsembleTask> Tasks,
     if (HasPost) {
       flushGroup(Units, Group, ReportFusion);
       for (StmtPtr &S : Post)
-        Units.push_back(std::move(S));
+        pushUnit(Units, std::move(S), "post:" + PostName, {PostName});
     }
   }
   flushGroup(Units, Group, ReportFusion);
+  assert(Units.size() == Labels.size() &&
+         "task labels must stay parallel to assembled units");
   return block(std::move(Units), Label);
 }
 
@@ -137,6 +153,16 @@ void Assembler::flushGroup(std::vector<StmtPtr> &Units, BatchGroup &Group,
     return;
   std::vector<PlannedTask> Tasks = std::move(Group.Tasks);
   Group.Tasks.clear();
+
+  std::vector<std::string> GroupEnsembles;
+  std::string GroupName = "batch[";
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    if (I)
+      GroupName += '+';
+    GroupName += Tasks[I].Task.EnsembleName;
+    GroupEnsembles.push_back(Tasks[I].Task.EnsembleName);
+  }
+  GroupName += ']';
 
   // Cross-layer fusion (§5.4.2): partition the group into chains. A task
   // joins the current chain when it consumes the chain's last ensemble
@@ -232,7 +258,8 @@ void Assembler::flushGroup(std::vector<StmtPtr> &Units, BatchGroup &Group,
         TL->annotations().Parallel = true;
       }
   }
-  Units.push_back(std::move(BatchLoop));
+  pushUnit(Units, std::move(BatchLoop), std::move(GroupName),
+           std::move(GroupEnsembles));
 }
 
 } // namespace
@@ -241,7 +268,7 @@ void compiler::assemblePrograms(SynthesisResult Tasks,
                                 const CompileOptions &Opts, Program &Prog) {
   Assembler A(Opts, Prog);
   Prog.Forward = A.assemble(std::move(Tasks.ForwardTasks), "forward",
-                            /*ReportFusion=*/true);
+                            /*ReportFusion=*/true, Prog.ForwardTasks);
   Prog.Backward = A.assemble(std::move(Tasks.BackwardTasks), "backward",
-                             /*ReportFusion=*/false);
+                             /*ReportFusion=*/false, Prog.BackwardTasks);
 }

@@ -92,6 +92,16 @@ struct CompileReport {
   }
 };
 
+/// Display metadata for one top-level unit (task) of an assembled program:
+/// a batch loop covering one fusion group, a whole-batch pre/post
+/// statement, or a fusion barrier. Parallel to the children of the
+/// program's top-level forward/backward block; consumed by the engine's
+/// per-task profiling (ExecOptions::Profile) to label trace spans.
+struct TaskLabel {
+  std::string Name;                   ///< e.g. "batch[conv1_1+relu1_1]"
+  std::vector<std::string> Ensembles; ///< ensembles the unit covers
+};
+
 /// A compiled network.
 struct Program {
   int64_t BatchSize = 0;
@@ -99,6 +109,9 @@ struct Program {
   std::vector<IntBufferInfo> IntBuffers;
   ir::StmtPtr Forward;
   ir::StmtPtr Backward;
+  /// One label per top-level statement of Forward/Backward, same order.
+  std::vector<TaskLabel> ForwardTasks;
+  std::vector<TaskLabel> BackwardTasks;
   std::vector<ParamBinding> Params;
 
   // Well-known buffers (empty when the net has no such ensemble).

@@ -7,6 +7,7 @@
 #include "kernels/pooling.h"
 #include "kernels/softmax.h"
 #include "support/error.h"
+#include "support/profile.h"
 
 #include <cmath>
 
@@ -187,6 +188,14 @@ void Executor::forward() {
       kernels::zero(buffer(B.Name).Data, buffer(B.Name).Count);
   Env E;
   E.AllowParallel = Opts.Parallel;
+  if (Opts.Profile && prof::enabled()) {
+    prof::ScopedPhase Phase("forward");
+    prof::ScopedTimer Whole("forward");
+    ProfActive = true;
+    execProgramProfiled(Prog.Forward.get(), Prog.ForwardTasks, E);
+    ProfActive = false;
+    return;
+  }
   execStmt(Prog.Forward.get(), E);
 }
 
@@ -202,6 +211,14 @@ void Executor::backward() {
   // serially, and deterministic mode always does.
   E.AllowParallel =
       Opts.Parallel && Opts.LossyGradients && !Opts.Deterministic;
+  if (Opts.Profile && prof::enabled()) {
+    prof::ScopedPhase Phase("backward");
+    prof::ScopedTimer Whole("backward");
+    ProfActive = true;
+    execProgramProfiled(Prog.Backward.get(), Prog.BackwardTasks, E);
+    ProfActive = false;
+    return;
+  }
   execStmt(Prog.Backward.get(), E);
 }
 
@@ -502,7 +519,83 @@ void Executor::execStmt(const Stmt *S, Env &E) {
   latteUnreachable("unknown statement kind");
 }
 
+void Executor::execProgramProfiled(
+    const Stmt *Root, const std::vector<compiler::TaskLabel> &Labels,
+    Env &E) {
+  const auto *B = dyn_cast_if_present<const BlockStmt>(Root);
+  if (!B) {
+    execStmt(Root, E);
+    return;
+  }
+  const std::vector<StmtPtr> &Stmts = B->stmts();
+  for (size_t I = 0; I < Stmts.size(); ++I) {
+    // Hand-built programs (engine tests) carry no labels; fall back to the
+    // unit index.
+    std::string Name = I < Labels.size() && !Labels[I].Name.empty()
+                           ? Labels[I].Name
+                           : "task#" + std::to_string(I);
+    prof::ScopedTimer T(std::move(Name));
+    execStmt(Stmts[I].get(), E);
+    prof::count(prof::Counter::TasksExecuted, 1);
+  }
+}
+
+void Executor::profileKernel(const KernelCallStmt *K) const {
+  using prof::Counter;
+  prof::count(Counter::KernelCalls, 1);
+  const std::vector<int64_t> &IA = K->intArgs();
+  switch (K->kernel()) {
+  case KernelKind::Sgemm: {
+    // ints: {M, N, K, ...} — one multiply-add per inner-product element.
+    uint64_t MNK = static_cast<uint64_t>(IA[0]) *
+                   static_cast<uint64_t>(IA[1]) *
+                   static_cast<uint64_t>(IA[2]);
+    prof::count(Counter::GemmCalls, 1);
+    prof::count(Counter::Flops, 2 * MNK);
+    return;
+  }
+  case KernelKind::Zero:
+    prof::count(Counter::BytesMoved, 4ull * IA[0]);
+    return;
+  case KernelKind::Copy:
+    prof::count(Counter::BytesMoved, 8ull * IA[0]); // read + write
+    return;
+  case KernelKind::AddTo:
+  case KernelKind::MulInto:
+    prof::count(Counter::BytesMoved, 12ull * IA[0]); // 2 reads + write
+    return;
+  case KernelKind::MulAddTo:
+    prof::count(Counter::BytesMoved, 16ull * IA[0]); // 3 reads + write
+    return;
+  case KernelKind::Scale:
+    prof::count(Counter::BytesMoved, 8ull * IA[0]);
+    return;
+  case KernelKind::Gather2D:
+    // ints: {Rows, Cols, ColCount} — value + index read, write per cell.
+    prof::count(Counter::BytesMoved, 12ull * IA[0] * IA[2]);
+    return;
+  case KernelKind::ScatterAdd2D:
+    prof::count(Counter::BytesMoved, 16ull * IA[0] * IA[2]);
+    return;
+  case KernelKind::ActFwdCols:
+    // ints: {Op, Rows, Cols, ColCount} — read + write per cell.
+    prof::count(Counter::BytesMoved, 8ull * IA[1] * IA[3]);
+    return;
+  case KernelKind::ActBwdCols:
+    prof::count(Counter::BytesMoved, 16ull * IA[1] * IA[3]);
+    return;
+  case KernelKind::BiasAddCols:
+    // ints: {Rows, Cols, ColCount} — value read + bias read + write.
+    prof::count(Counter::BytesMoved, 12ull * IA[0] * IA[2]);
+    return;
+  default:
+    return;
+  }
+}
+
 void Executor::execKernel(const KernelCallStmt *K, Env &E) {
+  if (ProfActive)
+    profileKernel(K);
   // Resolve float buffer pointers (int buffers are resolved per kind).
   auto FloatArg = [&](size_t I) -> float * {
     const KernelBufArg &A = K->bufs()[I];

@@ -45,6 +45,12 @@ struct ExecOptions {
   /// differencing), and LossyGradients is ignored in backward (no racing
   /// accumulation). Race-free parallel forward loops are unaffected.
   bool Deterministic = false;
+  /// Record per-task execution spans and kernel counters into the global
+  /// profiler (support/profile.h). Off by default; when off (or when the
+  /// profiler is globally disabled) the engine takes the uninstrumented
+  /// path and produces bitwise-identical results at unmeasurable extra
+  /// cost. Enable together with prof::Profiler::setEnabled(true).
+  bool Profile = false;
   uint64_t Seed = 0x5eed;
 };
 
@@ -115,6 +121,13 @@ private:
 
   void execStmt(const ir::Stmt *S, Env &E);
   void execKernel(const ir::KernelCallStmt *K, Env &E);
+  /// Profiling path: executes the top-level block one task at a time, each
+  /// under a ScopedTimer named by the compiler's TaskLabels.
+  void execProgramProfiled(const ir::Stmt *Root,
+                           const std::vector<compiler::TaskLabel> &Labels,
+                           Env &E);
+  /// Attributes one kernel call to the profiler's counters.
+  void profileKernel(const ir::KernelCallStmt *K) const;
   float evalFloat(const ir::Expr *Ex, Env &E) const;
   int64_t evalInt(const ir::Expr *Ex, Env &E) const;
 
@@ -124,6 +137,9 @@ private:
 
   compiler::Program Prog;
   ExecOptions Opts;
+  /// True only while a profiled forward/backward is in flight (gates the
+  /// per-kernel counter hooks so the default path pays nothing).
+  bool ProfActive = false;
   std::vector<Tensor> Storage; ///< owning storage (non-alias buffers)
   std::unordered_map<std::string, BufferRT> Buffers;
   std::unordered_map<std::string, std::vector<int32_t>> IntBuffers;

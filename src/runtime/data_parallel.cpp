@@ -4,6 +4,9 @@
 
 #include "kernels/elementwise.h"
 #include "support/error.h"
+#include "support/profile.h"
+
+#include <optional>
 
 using namespace latte;
 using namespace latte::runtime;
@@ -45,10 +48,24 @@ double DataParallelTrainer::trainStep(const Tensor &Data,
   for (Tensor &G : SharedGrads)
     G.zero();
 
+  // When profiling, each worker records its own replica span (separate
+  // trace tracks — the per-worker timing that makes load imbalance across
+  // the pool visible in Perfetto).
+  const bool Prof = prof::enabled();
+  std::optional<prof::ScopedPhase> Phase;
+  std::optional<prof::ScopedTimer> StepSpan;
+  if (Prof) {
+    Phase.emplace("train_step");
+    StepSpan.emplace("train_step");
+  }
+
   std::vector<double> Losses(W, 0.0), Accs(W, 0.0);
   Pool.parallelRun([&](int Id) {
     if (Id >= W)
       return;
+    std::optional<prof::ScopedTimer> WorkerSpan;
+    if (Prof)
+      WorkerSpan.emplace("worker:" + std::to_string(Id));
     engine::Executor &Ex = *Workers[Id];
     // Scatter this worker's slice of the global batch.
     Tensor Slice(Ex.shape(Ex.program().DataBuffer));
@@ -79,6 +96,9 @@ double DataParallelTrainer::trainStep(const Tensor &Data,
   if (!Opts.LossyGradients) {
     // Synchronized reduction (§3.1's default): gradient summation in a
     // fixed worker order, so results are bit-deterministic.
+    std::optional<prof::ScopedTimer> ReduceSpan;
+    if (Prof)
+      ReduceSpan.emplace("grad_reduce");
     const auto &Params = Workers[0]->program().Params;
     for (int Id = 0; Id < W; ++Id)
       for (size_t P = 0; P < Params.size(); ++P)

@@ -1,0 +1,106 @@
+//===- support/bench_compare.cpp ------------------------------*- C++ -*-===//
+
+#include "support/bench_compare.h"
+
+#include <cstdio>
+
+using namespace latte;
+using namespace latte::bench;
+
+namespace {
+
+const json::Value *findRow(const json::Value &Doc,
+                           const std::string &Label) {
+  const json::Value *Rows = Doc.find("rows");
+  if (!Rows || !Rows->isArray())
+    return nullptr;
+  for (const json::Value &Row : Rows->items())
+    if (Row.stringAt("label") == Label)
+      return &Row;
+  return nullptr;
+}
+
+} // namespace
+
+CompareResult bench::compareBenchJson(const json::Value &Old,
+                                      const json::Value &New,
+                                      double Threshold,
+                                      double MinDeltaSec) {
+  CompareResult R;
+
+  std::string OldFig = Old.stringAt("figure"), NewFig = New.stringAt("figure");
+  if (!OldFig.empty() && !NewFig.empty() && OldFig != NewFig)
+    R.Notes.push_back("figure mismatch: old is '" + OldFig + "', new is '" +
+                      NewFig + "'");
+
+  const json::Value *OldRows = Old.find("rows");
+  if (!OldRows || !OldRows->isArray()) {
+    R.Notes.push_back("old file has no 'rows' array — nothing compared");
+    return R;
+  }
+
+  static const char *Metrics[] = {"fwd_sec", "bwd_sec", "total_sec"};
+  for (const json::Value &OldRow : OldRows->items()) {
+    std::string Label = OldRow.stringAt("label");
+    const json::Value *NewRow = findRow(New, Label);
+    if (!NewRow) {
+      R.Notes.push_back("row '" + Label + "' missing from new file");
+      continue;
+    }
+    for (const char *Metric : Metrics) {
+      const json::Value *OldV = OldRow.find(Metric);
+      const json::Value *NewV = NewRow->find(Metric);
+      if (!OldV || !NewV || !OldV->isNumber() || !NewV->isNumber())
+        continue;
+      MetricDelta D;
+      D.Label = Label;
+      D.Metric = Metric;
+      D.OldSec = OldV->asNumber();
+      D.NewSec = NewV->asNumber();
+      R.Compared.push_back(D);
+      if (D.OldSec <= 0)
+        continue;
+      double Delta = D.NewSec - D.OldSec;
+      if (D.NewSec > D.OldSec * Threshold && Delta > MinDeltaSec)
+        R.Regressions.push_back(D);
+      else if (D.NewSec < D.OldSec / Threshold && -Delta > MinDeltaSec)
+        R.Improvements.push_back(D);
+    }
+  }
+
+  // Rows only in the new file are informational too.
+  const json::Value *NewRows = New.find("rows");
+  if (NewRows && NewRows->isArray())
+    for (const json::Value &NewRow : NewRows->items()) {
+      std::string Label = NewRow.stringAt("label");
+      if (!findRow(Old, Label))
+        R.Notes.push_back("row '" + Label + "' is new (no baseline)");
+    }
+  return R;
+}
+
+std::string bench::formatCompareReport(const CompareResult &R,
+                                       double Threshold) {
+  std::string Out;
+  char Buf[256];
+  auto Line = [&](const MetricDelta &D, const char *Tag) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %-10s %-28s %-9s %10.3f ms -> %10.3f ms  (%.2fx)\n",
+                  Tag, D.Label.c_str(), D.Metric.c_str(), D.OldSec * 1e3,
+                  D.NewSec * 1e3, D.ratio());
+    Out += Buf;
+  };
+  std::snprintf(Buf, sizeof(Buf),
+                "compared %zu metrics at threshold %.2fx: %zu regressed, "
+                "%zu improved\n",
+                R.Compared.size(), Threshold, R.Regressions.size(),
+                R.Improvements.size());
+  Out += Buf;
+  for (const MetricDelta &D : R.Regressions)
+    Line(D, "REGRESSED");
+  for (const MetricDelta &D : R.Improvements)
+    Line(D, "improved");
+  for (const std::string &N : R.Notes)
+    Out += "  note: " + N + "\n";
+  return Out;
+}

@@ -1,0 +1,57 @@
+//===- support/bench_compare.h - Bench JSON regression diff ---*- C++ -*-===//
+///
+/// \file
+/// Compares two `BENCH_<fig>.json` files (the schema bench/harness.h
+/// emits) and classifies each timing row as ok / regressed / improved
+/// against a ratio threshold. This is the library behind the
+/// `bench/compare` CLI that gates CI perf regressions; it lives in
+/// support/ so the unit tests can exercise the classification logic
+/// without spawning the binary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_SUPPORT_BENCH_COMPARE_H
+#define LATTE_SUPPORT_BENCH_COMPARE_H
+
+#include "support/json.h"
+
+#include <string>
+#include <vector>
+
+namespace latte {
+namespace bench {
+
+/// One compared metric (a row label + which of fwd/bwd/total).
+struct MetricDelta {
+  std::string Label;
+  std::string Metric;  ///< "fwd_sec", "bwd_sec", or "total_sec"
+  double OldSec = 0;
+  double NewSec = 0;
+  double ratio() const { return OldSec > 0 ? NewSec / OldSec : 0; }
+};
+
+struct CompareResult {
+  std::vector<MetricDelta> Compared;    ///< every metric present in both
+  std::vector<MetricDelta> Regressions; ///< new > old * threshold
+  std::vector<MetricDelta> Improvements;///< new < old / threshold
+  std::vector<std::string> Notes;       ///< missing rows, figure mismatch
+  bool ok() const { return Regressions.empty(); }
+};
+
+/// Compares two parsed bench documents. Rows are matched by "label";
+/// a row's "total_sec" (and, when present in both, "fwd_sec"/"bwd_sec")
+/// is regressed when `new > old * Threshold` and the absolute delta
+/// exceeds \p MinDeltaSec (guards against flagging microsecond noise).
+/// Rows present in only one file are reported in Notes, not failed —
+/// benchmarks gain rows over time.
+CompareResult compareBenchJson(const json::Value &Old,
+                               const json::Value &New, double Threshold,
+                               double MinDeltaSec = 1e-4);
+
+/// Renders \p R as the human-readable report the CLI prints.
+std::string formatCompareReport(const CompareResult &R, double Threshold);
+
+} // namespace bench
+} // namespace latte
+
+#endif // LATTE_SUPPORT_BENCH_COMPARE_H

@@ -1,0 +1,415 @@
+//===- support/json.cpp ---------------------------------------*- C++ -*-===//
+
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace latte;
+using namespace latte::json;
+
+void Value::set(const std::string &Key, Value V) {
+  TheKind = Kind::Object;
+  for (auto &M : Members)
+    if (M.first == Key) {
+      M.second = std::move(V);
+      return;
+    }
+  Members.emplace_back(Key, std::move(V));
+}
+
+const Value *Value::find(const std::string &Key) const {
+  if (!isObject())
+    return nullptr;
+  for (const auto &M : Members)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+const Value &Value::at(const std::string &Key) const {
+  static const Value Null;
+  const Value *V = find(Key);
+  return V ? *V : Null;
+}
+
+double Value::numberAt(const std::string &Key, double Default) const {
+  const Value *V = find(Key);
+  return V && V->isNumber() ? V->asNumber() : Default;
+}
+
+std::string Value::stringAt(const std::string &Key,
+                            const std::string &Default) const {
+  const Value *V = find(Key);
+  return V && V->isString() ? V->asString() : Default;
+}
+
+void json::escape(const std::string &S, std::string &Out) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+namespace {
+
+void appendNumber(std::string &Out, double N) {
+  if (!std::isfinite(N)) {
+    Out += "null"; // JSON has no Inf/NaN
+    return;
+  }
+  // Integers (the common case for counters) print without an exponent or
+  // trailing zeros; everything else gets round-trippable precision.
+  if (N == std::floor(N) && std::fabs(N) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", N);
+    Out += Buf;
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", N);
+  Out += Buf;
+}
+
+void newline(std::string &Out, int Indent, int Depth) {
+  if (Indent < 0)
+    return;
+  Out += '\n';
+  Out.append(static_cast<size_t>(Indent) * Depth, ' ');
+}
+
+} // namespace
+
+void Value::dumpTo(std::string &Out, int Indent, int Depth) const {
+  switch (TheKind) {
+  case Kind::Null:
+    Out += "null";
+    return;
+  case Kind::Bool:
+    Out += BoolVal ? "true" : "false";
+    return;
+  case Kind::Number:
+    appendNumber(Out, NumVal);
+    return;
+  case Kind::String:
+    Out += '"';
+    escape(StrVal, Out);
+    Out += '"';
+    return;
+  case Kind::Array: {
+    if (Items.empty()) {
+      Out += "[]";
+      return;
+    }
+    Out += '[';
+    for (size_t I = 0; I < Items.size(); ++I) {
+      if (I)
+        Out += Indent < 0 ? "," : ",";
+      newline(Out, Indent, Depth + 1);
+      Items[I].dumpTo(Out, Indent, Depth + 1);
+    }
+    newline(Out, Indent, Depth);
+    Out += ']';
+    return;
+  }
+  case Kind::Object: {
+    if (Members.empty()) {
+      Out += "{}";
+      return;
+    }
+    Out += '{';
+    for (size_t I = 0; I < Members.size(); ++I) {
+      if (I)
+        Out += ",";
+      newline(Out, Indent, Depth + 1);
+      Out += '"';
+      escape(Members[I].first, Out);
+      Out += Indent < 0 ? "\":" : "\": ";
+      Members[I].second.dumpTo(Out, Indent, Depth + 1);
+    }
+    newline(Out, Indent, Depth);
+    Out += '}';
+    return;
+  }
+  }
+}
+
+std::string Value::dump(int Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Parser {
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Err;
+
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  bool fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return fail(std::string("expected '") + C + "'");
+  }
+
+  bool literal(const char *Lit) {
+    size_t N = std::strlen(Lit);
+    if (Text.compare(Pos, N, Lit) != 0)
+      return fail(std::string("invalid literal, expected '") + Lit + "'");
+    Pos += N;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad \\u escape digit");
+        }
+        // UTF-8 encode (no surrogate-pair handling; trace/bench data is
+        // ASCII plus the occasional BMP char).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseValue(Value &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out = Value::object();
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        if (!consume(':'))
+          return false;
+        Value Member;
+        if (!parseValue(Member))
+          return false;
+        Out.set(Key, std::move(Member));
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        return consume('}');
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out = Value::array();
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        Value Item;
+        if (!parseValue(Item))
+          return false;
+        Out.push(std::move(Item));
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        return consume(']');
+      }
+    }
+    if (C == '"') {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Value(std::move(S));
+      return true;
+    }
+    if (C == 't') {
+      Out = Value(true);
+      return literal("true");
+    }
+    if (C == 'f') {
+      Out = Value(false);
+      return literal("false");
+    }
+    if (C == 'n') {
+      Out = Value();
+      return literal("null");
+    }
+    // Number.
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    bool SawDigit = false;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-')) {
+      SawDigit |= std::isdigit(static_cast<unsigned char>(Text[Pos])) != 0;
+      ++Pos;
+    }
+    if (!SawDigit)
+      return fail("invalid value");
+    Out = Value(std::strtod(Text.c_str() + Start, nullptr));
+    return true;
+  }
+};
+
+} // namespace
+
+Value json::parse(const std::string &Text, std::string *Err) {
+  Parser P(Text);
+  Value V;
+  if (!P.parseValue(V)) {
+    if (Err)
+      *Err = P.Err;
+    return Value();
+  }
+  P.skipWs();
+  if (P.Pos != Text.size()) {
+    if (Err)
+      *Err = "trailing garbage at offset " + std::to_string(P.Pos);
+    return Value();
+  }
+  return V;
+}
+
+Value json::parseFile(const std::string &Path, std::string *Err) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    if (Err)
+      *Err = "cannot open '" + Path + "'";
+    return Value();
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return parse(SS.str(), Err);
+}

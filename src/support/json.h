@@ -1,0 +1,123 @@
+//===- support/json.h - Minimal JSON value, parser, writer ----*- C++ -*-===//
+///
+/// \file
+/// A small self-contained JSON library for the instrumentation subsystem:
+/// the Chrome-trace and bench-summary exporters build Value trees and dump
+/// them; the bench/compare regression gate parses the emitted files back.
+/// Deliberately tiny — no external dependency, no streaming, doubles for
+/// all numbers (bench data is seconds and small counters).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_SUPPORT_JSON_H
+#define LATTE_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace latte {
+namespace json {
+
+/// A JSON value. Objects preserve insertion order (stable output diffs).
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() : TheKind(Kind::Null) {}
+  Value(bool B) : TheKind(Kind::Bool), BoolVal(B) {}
+  Value(double N) : TheKind(Kind::Number), NumVal(N) {}
+  Value(int N) : TheKind(Kind::Number), NumVal(N) {}
+  Value(int64_t N) : TheKind(Kind::Number), NumVal(static_cast<double>(N)) {}
+  Value(uint64_t N) : TheKind(Kind::Number), NumVal(static_cast<double>(N)) {}
+  Value(std::string S) : TheKind(Kind::String), StrVal(std::move(S)) {}
+  Value(const char *S) : TheKind(Kind::String), StrVal(S) {}
+
+  static Value array() {
+    Value V;
+    V.TheKind = Kind::Array;
+    return V;
+  }
+  static Value object() {
+    Value V;
+    V.TheKind = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isNull() const { return TheKind == Kind::Null; }
+  bool isBool() const { return TheKind == Kind::Bool; }
+  bool isNumber() const { return TheKind == Kind::Number; }
+  bool isString() const { return TheKind == Kind::String; }
+  bool isArray() const { return TheKind == Kind::Array; }
+  bool isObject() const { return TheKind == Kind::Object; }
+
+  bool asBool(bool Default = false) const {
+    return isBool() ? BoolVal : Default;
+  }
+  double asNumber(double Default = 0.0) const {
+    return isNumber() ? NumVal : Default;
+  }
+  const std::string &asString() const { return StrVal; }
+
+  // --- arrays ---------------------------------------------------------------
+
+  const std::vector<Value> &items() const { return Items; }
+  void push(Value V) { Items.push_back(std::move(V)); }
+  size_t size() const {
+    return isObject() ? Members.size() : Items.size();
+  }
+
+  // --- objects --------------------------------------------------------------
+
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Members;
+  }
+  /// Sets (or overwrites) a member.
+  void set(const std::string &Key, Value V);
+  /// Member lookup; null when absent or when this is not an object.
+  const Value *find(const std::string &Key) const;
+  Value *find(const std::string &Key) {
+    return const_cast<Value *>(
+        static_cast<const Value *>(this)->find(Key));
+  }
+  /// Member lookup with a shared static Null fallback (chainable).
+  const Value &at(const std::string &Key) const;
+  /// Convenience: numeric member or \p Default when absent / non-numeric.
+  double numberAt(const std::string &Key, double Default = 0.0) const;
+  /// Convenience: string member or \p Default when absent / non-string.
+  std::string stringAt(const std::string &Key,
+                       const std::string &Default = "") const;
+
+  /// Serializes. Indent < 0 emits compact single-line JSON; otherwise
+  /// pretty-prints with \p Indent spaces per level.
+  std::string dump(int Indent = -1) const;
+
+private:
+  void dumpTo(std::string &Out, int Indent, int Depth) const;
+
+  Kind TheKind;
+  bool BoolVal = false;
+  double NumVal = 0.0;
+  std::string StrVal;
+  std::vector<Value> Items;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Appends \p S to \p Out with JSON string escaping (no surrounding quotes).
+void escape(const std::string &S, std::string &Out);
+
+/// Parses \p Text. On failure returns a Null value and, when \p Err is
+/// non-null, stores a one-line diagnostic with the byte offset.
+Value parse(const std::string &Text, std::string *Err = nullptr);
+
+/// Reads and parses a whole file. On failure (I/O or syntax) returns Null
+/// and fills \p Err.
+Value parseFile(const std::string &Path, std::string *Err = nullptr);
+
+} // namespace json
+} // namespace latte
+
+#endif // LATTE_SUPPORT_JSON_H

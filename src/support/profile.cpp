@@ -1,0 +1,225 @@
+//===- support/profile.cpp ------------------------------------*- C++ -*-===//
+
+#include "support/profile.h"
+
+#include <chrono>
+
+using namespace latte;
+using namespace latte::prof;
+
+std::atomic<bool> prof::detail::GEnabled{false};
+
+const char *prof::counterName(Counter C) {
+  switch (C) {
+  case Counter::Flops:
+    return "flops";
+  case Counter::BytesMoved:
+    return "bytes_moved";
+  case Counter::TasksExecuted:
+    return "tasks_executed";
+  case Counter::GemmCalls:
+    return "gemm_calls";
+  case Counter::FusionHits:
+    return "fusion_hits";
+  case Counter::KernelCalls:
+    return "kernel_calls";
+  }
+  return "unknown";
+}
+
+const SpanStat *Summary::find(const std::string &Phase,
+                              const std::string &Name) const {
+  for (const SpanStat &S : Spans)
+    if (S.Phase == Phase && S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+const CounterSet *Summary::counters(const std::string &Phase) const {
+  for (const auto &P : PhaseCounters)
+    if (P.first == Phase)
+      return &P.second;
+  return nullptr;
+}
+
+/// Per-thread recording buffer. Spans/PhaseCounters are appended under M
+/// (merged by exporters from other threads); Phase and NameStack are
+/// owner-thread-only scratch and need no lock.
+struct Profiler::ThreadBuf {
+  std::mutex M;
+  std::vector<Span> Spans;
+  std::vector<std::pair<std::string, CounterSet>> PhaseCounters;
+  uint32_t Tid = 0;
+
+  const char *Phase = nullptr;               ///< owner-thread only
+  std::vector<const std::string *> NameStack; ///< owner-thread only
+};
+
+Profiler &Profiler::get() {
+  static Profiler P;
+  return P;
+}
+
+void Profiler::setEnabled(bool On) {
+  detail::GEnabled.store(On, std::memory_order_relaxed);
+}
+
+uint64_t Profiler::nowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Epoch)
+          .count());
+}
+
+Profiler::ThreadBuf &Profiler::threadBuf() {
+  thread_local std::shared_ptr<ThreadBuf> TL;
+  if (!TL) {
+    TL = std::make_shared<ThreadBuf>();
+    TL->Tid = NextThreadId.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    Buffers.push_back(TL);
+  }
+  return *TL;
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  for (const auto &B : Buffers) {
+    std::lock_guard<std::mutex> BufLock(B->M);
+    B->Spans.clear();
+    B->PhaseCounters.clear();
+  }
+}
+
+void Profiler::count(Counter C, uint64_t Delta) {
+  if (!enabled())
+    return;
+  ThreadBuf &B = threadBuf();
+  const char *Ph = B.Phase;
+  if (!Ph)
+    Ph = GlobalPhase.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(B.M);
+  for (auto &P : B.PhaseCounters)
+    if (P.first == (Ph ? Ph : "")) {
+      P.second.add(C, Delta);
+      return;
+    }
+  B.PhaseCounters.emplace_back(Ph ? Ph : "", CounterSet{});
+  B.PhaseCounters.back().second.add(C, Delta);
+}
+
+std::vector<Span> Profiler::spans() const {
+  std::vector<Span> Out;
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  for (const auto &B : Buffers) {
+    std::lock_guard<std::mutex> BufLock(B->M);
+    Out.insert(Out.end(), B->Spans.begin(), B->Spans.end());
+  }
+  return Out;
+}
+
+Summary Profiler::summary() const {
+  Summary S;
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  for (const auto &B : Buffers) {
+    std::lock_guard<std::mutex> BufLock(B->M);
+    for (const Span &Sp : B->Spans) {
+      SpanStat *Stat = nullptr;
+      for (SpanStat &Cand : S.Spans)
+        if (Cand.Phase == Sp.Phase && Cand.Name == Sp.Name) {
+          Stat = &Cand;
+          break;
+        }
+      if (!Stat) {
+        S.Spans.push_back({Sp.Phase, Sp.Name, 0, 0.0, 0.0});
+        Stat = &S.Spans.back();
+      }
+      ++Stat->Count;
+      double Sec = static_cast<double>(Sp.DurNs) * 1e-9;
+      if (!Sp.SelfNested) {
+        Stat->TotalSec += Sec;
+        if (Sec > Stat->MaxSec)
+          Stat->MaxSec = Sec;
+      }
+    }
+    for (const auto &PC : B->PhaseCounters) {
+      CounterSet *Set = nullptr;
+      for (auto &Existing : S.PhaseCounters)
+        if (Existing.first == PC.first) {
+          Set = &Existing.second;
+          break;
+        }
+      if (!Set) {
+        S.PhaseCounters.emplace_back(PC.first, CounterSet{});
+        Set = &S.PhaseCounters.back().second;
+      }
+      Set->merge(PC.second);
+      S.Totals.merge(PC.second);
+    }
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// RAII helpers
+//===----------------------------------------------------------------------===//
+
+ScopedTimer::ScopedTimer(std::string TheName)
+    : Active(enabled()), Name(std::move(TheName)) {
+  if (!Active)
+    return;
+  Profiler &P = Profiler::get();
+  Profiler::ThreadBuf &B = P.threadBuf();
+  const char *Ph = B.Phase;
+  if (!Ph)
+    Ph = P.GlobalPhase.load(std::memory_order_relaxed);
+  Phase = Ph ? Ph : "";
+  for (const std::string *Open : B.NameStack)
+    if (*Open == Name) {
+      SelfNested = true;
+      break;
+    }
+  Depth = static_cast<int>(B.NameStack.size());
+  B.NameStack.push_back(&Name);
+  StartNs = Profiler::nowNs();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!Active)
+    return;
+  uint64_t EndNs = Profiler::nowNs();
+  Profiler::ThreadBuf &B = Profiler::get().threadBuf();
+  // Scoped timers unwind LIFO on their owning thread.
+  if (!B.NameStack.empty() && B.NameStack.back() == &Name)
+    B.NameStack.pop_back();
+  Span S;
+  S.Name = std::move(Name);
+  S.Phase = std::move(Phase);
+  S.ThreadId = B.Tid;
+  S.StartNs = StartNs;
+  S.DurNs = EndNs - StartNs;
+  S.Depth = Depth;
+  S.SelfNested = SelfNested;
+  std::lock_guard<std::mutex> Lock(B.M);
+  B.Spans.push_back(std::move(S));
+}
+
+ScopedPhase::ScopedPhase(const char *Phase) : Active(enabled()) {
+  if (!Active)
+    return;
+  Profiler &P = Profiler::get();
+  Profiler::ThreadBuf &B = P.threadBuf();
+  Prev = B.Phase;
+  B.Phase = Phase;
+  PrevGlobal = P.GlobalPhase.exchange(Phase, std::memory_order_relaxed);
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (!Active)
+    return;
+  Profiler &P = Profiler::get();
+  P.threadBuf().Phase = Prev;
+  P.GlobalPhase.store(PrevGlobal, std::memory_order_relaxed);
+}

@@ -1,0 +1,200 @@
+//===- support/profile.h - Low-overhead profiling layer -------*- C++ -*-===//
+///
+/// \file
+/// The instrumentation subsystem: scoped wall-clock timers and hardware-ish
+/// counters (FLOPs, bytes moved, tasks executed, GEMM calls, fusion hits)
+/// aggregated per phase ("compile", "forward", "backward", ...). Recording
+/// is thread-safe — every thread appends to its own registered buffer — so
+/// the engine's OpenMP loops and the ThreadPool's data-parallel workers can
+/// record concurrently; exporters merge the buffers afterwards.
+///
+/// Cost model: everything no-ops behind one relaxed atomic-bool load while
+/// profiling is disabled (the default — `ExecOptions::Profile=false` and
+/// `Profiler::setEnabled(false)`), so instrumented hot paths stay within
+/// noise of the uninstrumented build. Callers that would otherwise build a
+/// span name eagerly should guard on `prof::enabled()` first.
+///
+/// Exporters live in support/trace_json.h (Chrome trace_event JSON for
+/// chrome://tracing / Perfetto, plus a machine-readable summary).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_SUPPORT_PROFILE_H
+#define LATTE_SUPPORT_PROFILE_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace latte {
+namespace prof {
+
+/// Counters the compiler/engine/runtime increment while profiling.
+enum class Counter : int {
+  Flops,         ///< floating-point ops attributed to library kernels
+  BytesMoved,    ///< bytes read+written by data-movement kernels
+  TasksExecuted, ///< top-level program tasks executed by the engine
+  GemmCalls,     ///< sgemm library-kernel invocations
+  FusionHits,    ///< fusion groups formed at compile time
+  KernelCalls,   ///< total library-kernel invocations
+};
+constexpr int NumCounters = 6;
+
+/// Printable snake_case name ("flops", "bytes_moved", ...).
+const char *counterName(Counter C);
+
+struct CounterSet {
+  std::array<uint64_t, NumCounters> Values{};
+
+  uint64_t get(Counter C) const { return Values[static_cast<int>(C)]; }
+  void add(Counter C, uint64_t Delta) {
+    Values[static_cast<int>(C)] += Delta;
+  }
+  void merge(const CounterSet &Other) {
+    for (int I = 0; I < NumCounters; ++I)
+      Values[I] += Other.Values[I];
+  }
+  bool empty() const {
+    for (uint64_t V : Values)
+      if (V)
+        return false;
+    return true;
+  }
+};
+
+/// One completed timed span, as recorded (trace granularity).
+struct Span {
+  std::string Name;
+  std::string Phase;   ///< enclosing phase at the time of recording
+  uint32_t ThreadId;   ///< profiler-assigned dense thread id
+  uint64_t StartNs;    ///< since the profiler's process-wide epoch
+  uint64_t DurNs;
+  int Depth;           ///< scoped-timer nesting depth on that thread
+  bool SelfNested;     ///< a span with the same name was already open on
+                       ///< this thread (recursion) — excluded from
+                       ///< aggregate totals to avoid double-counting
+};
+
+/// Aggregate of all spans sharing (Phase, Name).
+struct SpanStat {
+  std::string Phase;
+  std::string Name;
+  uint64_t Count = 0;  ///< all spans, self-nested included
+  double TotalSec = 0; ///< self-nested spans excluded (no double counting)
+  double MaxSec = 0;
+};
+
+struct Summary {
+  std::vector<SpanStat> Spans; ///< recording order of first appearance
+  /// Per-phase counter aggregates, first-appearance order.
+  std::vector<std::pair<std::string, CounterSet>> PhaseCounters;
+  /// Grand total over all phases.
+  CounterSet Totals;
+
+  const SpanStat *find(const std::string &Phase,
+                       const std::string &Name) const;
+  const CounterSet *counters(const std::string &Phase) const;
+};
+
+namespace detail {
+extern std::atomic<bool> GEnabled;
+} // namespace detail
+
+/// True while profiling is globally enabled. This is the only cost paid on
+/// hot paths when profiling is off.
+inline bool enabled() {
+  return detail::GEnabled.load(std::memory_order_relaxed);
+}
+
+/// Process-wide profiler singleton holding every thread's buffers.
+class Profiler {
+public:
+  static Profiler &get();
+
+  /// Turns recording on/off. Disabling does not discard recorded data.
+  void setEnabled(bool On);
+  /// Discards all recorded spans and counters (thread registrations stay).
+  void reset();
+
+  /// Monotonic nanoseconds since the profiler epoch.
+  static uint64_t nowNs();
+
+  /// Adds \p Delta to counter \p C, attributed to the calling thread's
+  /// current phase (or the globally active phase for worker threads that
+  /// never set one). No-op while disabled.
+  void count(Counter C, uint64_t Delta);
+
+  /// Snapshot of every recorded span, merged across threads (unordered
+  /// between threads; in recording order within one).
+  std::vector<Span> spans() const;
+
+  /// Aggregated statistics (per-(phase,name) span totals, per-phase
+  /// counters).
+  Summary summary() const;
+
+private:
+  friend class ScopedTimer;
+  friend class ScopedPhase;
+  struct ThreadBuf;
+  Profiler() = default;
+
+  ThreadBuf &threadBuf();
+
+  mutable std::mutex RegistryMutex;
+  std::vector<std::shared_ptr<ThreadBuf>> Buffers;
+  std::atomic<uint32_t> NextThreadId{0};
+  /// Fallback phase for threads (OpenMP / pool workers) that record while
+  /// a phase is active on the orchestrating thread.
+  std::atomic<const char *> GlobalPhase{nullptr};
+};
+
+/// Free-function shorthand for Profiler::get().count(...).
+inline void count(Counter C, uint64_t Delta) {
+  if (enabled())
+    Profiler::get().count(C, Delta);
+}
+
+/// RAII span: records [construction, destruction) under the thread's
+/// current phase. Safe to construct while disabled (records nothing).
+class ScopedTimer {
+public:
+  explicit ScopedTimer(std::string Name);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  bool Active;
+  bool SelfNested = false;
+  int Depth = 0;
+  uint64_t StartNs = 0;
+  std::string Name;
+  std::string Phase;
+};
+
+/// RAII phase label: spans and counters recorded on this thread while the
+/// object lives are attributed to \p Phase. Also publishes the phase as the
+/// process-wide fallback so worker threads spawned inside the region
+/// attribute correctly (single orchestrating thread is the supported
+/// pattern; concurrent distinct phases keep their own thread-local labels).
+class ScopedPhase {
+public:
+  explicit ScopedPhase(const char *Phase);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase &) = delete;
+  ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+private:
+  bool Active;
+  const char *Prev = nullptr;
+  const char *PrevGlobal = nullptr;
+};
+
+} // namespace prof
+} // namespace latte
+
+#endif // LATTE_SUPPORT_PROFILE_H

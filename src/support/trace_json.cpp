@@ -1,0 +1,104 @@
+//===- support/trace_json.cpp ---------------------------------*- C++ -*-===//
+
+#include "support/trace_json.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+using namespace latte;
+using namespace latte::prof;
+
+json::Value prof::chromeTrace(const Profiler &P) {
+  std::vector<Span> Spans = P.spans();
+  // Stable timeline: sort by thread, then start time.
+  std::sort(Spans.begin(), Spans.end(), [](const Span &A, const Span &B) {
+    if (A.ThreadId != B.ThreadId)
+      return A.ThreadId < B.ThreadId;
+    return A.StartNs < B.StartNs;
+  });
+
+  json::Value Events = json::Value::array();
+  std::set<uint32_t> SeenThreads;
+  for (const Span &S : Spans) {
+    if (SeenThreads.insert(S.ThreadId).second) {
+      json::Value Meta = json::Value::object();
+      Meta.set("name", "thread_name");
+      Meta.set("ph", "M");
+      Meta.set("pid", 0);
+      Meta.set("tid", static_cast<int64_t>(S.ThreadId));
+      json::Value Args = json::Value::object();
+      Args.set("name", "latte-thread-" + std::to_string(S.ThreadId));
+      Meta.set("args", std::move(Args));
+      Events.push(std::move(Meta));
+    }
+    json::Value E = json::Value::object();
+    E.set("name", S.Name);
+    E.set("cat", S.Phase.empty() ? std::string("latte") : S.Phase);
+    E.set("ph", "X");
+    E.set("ts", static_cast<double>(S.StartNs) * 1e-3); // microseconds
+    E.set("dur", static_cast<double>(S.DurNs) * 1e-3);
+    E.set("pid", 0);
+    E.set("tid", static_cast<int64_t>(S.ThreadId));
+    Events.push(std::move(E));
+  }
+
+  json::Value Doc = json::Value::object();
+  Doc.set("displayTimeUnit", "ms");
+  Doc.set("traceEvents", std::move(Events));
+  return Doc;
+}
+
+json::Value prof::countersJson(const CounterSet &C) {
+  json::Value Obj = json::Value::object();
+  for (int I = 0; I < NumCounters; ++I)
+    Obj.set(counterName(static_cast<Counter>(I)), C.Values[I]);
+  return Obj;
+}
+
+json::Value prof::summaryJson(const Profiler &P) {
+  Summary S = P.summary();
+
+  json::Value SpanArr = json::Value::array();
+  for (const SpanStat &St : S.Spans) {
+    json::Value E = json::Value::object();
+    E.set("phase", St.Phase);
+    E.set("name", St.Name);
+    E.set("count", St.Count);
+    E.set("total_sec", St.TotalSec);
+    E.set("max_sec", St.MaxSec);
+    SpanArr.push(std::move(E));
+  }
+
+  json::Value PhaseObj = json::Value::object();
+  for (const auto &PC : S.PhaseCounters)
+    PhaseObj.set(PC.first.empty() ? std::string("(none)") : PC.first,
+                 countersJson(PC.second));
+
+  json::Value Doc = json::Value::object();
+  Doc.set("spans", std::move(SpanArr));
+  Doc.set("counters", std::move(PhaseObj));
+  Doc.set("totals", countersJson(S.Totals));
+  return Doc;
+}
+
+bool prof::writeJsonFile(const std::string &Path, const json::Value &Doc,
+                         std::string *Err) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    if (Err)
+      *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << Doc.dump(2) << "\n";
+  if (!Out) {
+    if (Err)
+      *Err = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+bool prof::writeChromeTrace(const std::string &Path, std::string *Err) {
+  return writeJsonFile(Path, chromeTrace(), Err);
+}

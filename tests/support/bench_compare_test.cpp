@@ -1,0 +1,123 @@
+//===- tests/support/bench_compare_test.cpp - compare gate ----*- C++ -*-===//
+///
+/// Classification logic behind the `bench/compare` CI gate: regression /
+/// improvement thresholds, the absolute-delta noise guard, row matching by
+/// label, and figure-mismatch notes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/bench_compare.h"
+
+#include <gtest/gtest.h>
+
+using namespace latte;
+
+namespace {
+
+/// Builds a minimal BENCH document with one row per (label, total) pair.
+json::Value benchDoc(
+    const std::vector<std::pair<std::string, double>> &Rows,
+    const std::string &Figure = "fig13") {
+  json::Value Doc = json::Value::object();
+  Doc.set("schema", "latte-bench-v1");
+  Doc.set("figure", Figure);
+  json::Value Arr = json::Value::array();
+  for (const auto &R : Rows) {
+    json::Value Row = json::Value::object();
+    Row.set("label", R.first);
+    Row.set("fwd_sec", R.second * 0.4);
+    Row.set("bwd_sec", R.second * 0.6);
+    Row.set("total_sec", R.second);
+    Arr.push(std::move(Row));
+  }
+  Doc.set("rows", std::move(Arr));
+  return Doc;
+}
+
+TEST(BenchCompare, IdenticalFilesPass) {
+  json::Value Doc = benchDoc({{"caffe", 0.010}, {"latte_full", 0.002}});
+  bench::CompareResult R = bench::compareBenchJson(Doc, Doc, 1.5);
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.Compared.size(), 6u); // 2 rows x {fwd, bwd, total}
+  EXPECT_TRUE(R.Regressions.empty());
+  EXPECT_TRUE(R.Improvements.empty());
+}
+
+TEST(BenchCompare, RegressionPastThresholdFails) {
+  json::Value Old = benchDoc({{"latte_full", 0.010}});
+  json::Value New = benchDoc({{"latte_full", 0.016}}); // 1.6x
+  bench::CompareResult R = bench::compareBenchJson(Old, New, 1.5);
+  EXPECT_FALSE(R.ok());
+  ASSERT_FALSE(R.Regressions.empty());
+  EXPECT_EQ(R.Regressions[0].Label, "latte_full");
+  EXPECT_NEAR(R.Regressions[0].ratio(), 1.6, 1e-9);
+  // The same delta passes under a looser threshold.
+  EXPECT_TRUE(bench::compareBenchJson(Old, New, 2.5).ok());
+}
+
+TEST(BenchCompare, JustUnderThresholdPasses) {
+  json::Value Old = benchDoc({{"row", 0.010}});
+  json::Value New = benchDoc({{"row", 0.0149}});
+  EXPECT_TRUE(bench::compareBenchJson(Old, New, 1.5).ok());
+}
+
+TEST(BenchCompare, TinyAbsoluteDeltasAreNoise) {
+  // 5x ratio but only 40 microseconds absolute — below MinDeltaSec, so
+  // not a regression (smoke runs at tiny scale are jittery).
+  json::Value Old = benchDoc({{"row", 0.00001}});
+  json::Value New = benchDoc({{"row", 0.00005}});
+  EXPECT_TRUE(bench::compareBenchJson(Old, New, 1.5).ok());
+  // With the guard lowered the same data fails.
+  EXPECT_FALSE(
+      bench::compareBenchJson(Old, New, 1.5, /*MinDeltaSec=*/1e-7).ok());
+}
+
+TEST(BenchCompare, ImprovementsReportedNotFailed) {
+  json::Value Old = benchDoc({{"row", 0.010}});
+  json::Value New = benchDoc({{"row", 0.004}});
+  bench::CompareResult R = bench::compareBenchJson(Old, New, 1.5);
+  EXPECT_TRUE(R.ok());
+  EXPECT_FALSE(R.Improvements.empty());
+}
+
+TEST(BenchCompare, RowsMatchedByLabelNotOrder) {
+  json::Value Old = benchDoc({{"a", 0.010}, {"b", 0.020}});
+  json::Value New = benchDoc({{"b", 0.020}, {"a", 0.010}});
+  bench::CompareResult R = bench::compareBenchJson(Old, New, 1.5);
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.Compared.size(), 6u);
+}
+
+TEST(BenchCompare, MissingAndNewRowsAreNotes) {
+  json::Value Old = benchDoc({{"a", 0.010}, {"gone", 0.020}});
+  json::Value New = benchDoc({{"a", 0.010}, {"added", 0.030}});
+  bench::CompareResult R = bench::compareBenchJson(Old, New, 1.5);
+  EXPECT_TRUE(R.ok()); // rows appearing/disappearing never gate
+  EXPECT_EQ(R.Compared.size(), 3u);
+  EXPECT_FALSE(R.Notes.empty());
+}
+
+TEST(BenchCompare, FigureMismatchNoted) {
+  json::Value Old = benchDoc({{"a", 0.010}}, "fig13");
+  json::Value New = benchDoc({{"a", 0.010}}, "fig14");
+  bench::CompareResult R = bench::compareBenchJson(Old, New, 1.5);
+  EXPECT_FALSE(R.Notes.empty());
+}
+
+TEST(BenchCompare, EmptyDocsCompareNothing) {
+  json::Value Empty = json::Value::object();
+  bench::CompareResult R = bench::compareBenchJson(Empty, Empty, 1.5);
+  EXPECT_TRUE(R.Compared.empty());
+  EXPECT_TRUE(R.ok());
+}
+
+TEST(BenchCompare, ReportMentionsRegressedRows) {
+  json::Value Old = benchDoc({{"slow_row", 0.010}});
+  json::Value New = benchDoc({{"slow_row", 0.030}});
+  bench::CompareResult R = bench::compareBenchJson(Old, New, 1.5);
+  std::string Report = bench::formatCompareReport(R, 1.5);
+  EXPECT_NE(Report.find("slow_row"), std::string::npos);
+  EXPECT_NE(Report.find("REGRESSED"), std::string::npos);
+}
+
+} // namespace

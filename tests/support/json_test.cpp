@@ -1,0 +1,133 @@
+//===- tests/support/json_test.cpp - support/json.h tests -----*- C++ -*-===//
+///
+/// The JSON library backs the Chrome-trace / BENCH_<fig>.json exporters and
+/// the bench/compare parser, so serialization and parsing must round-trip.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace latte;
+
+namespace {
+
+TEST(Json, BuildAndDumpCompact) {
+  json::Value Doc = json::Value::object();
+  Doc.set("name", "latte");
+  Doc.set("count", static_cast<int64_t>(42));
+  Doc.set("pi", 3.5);
+  Doc.set("ok", true);
+  Doc.set("none", json::Value());
+  json::Value Arr = json::Value::array();
+  Arr.push(1);
+  Arr.push(2);
+  Doc.set("items", std::move(Arr));
+  EXPECT_EQ(Doc.dump(),
+            "{\"name\":\"latte\",\"count\":42,\"pi\":3.5,\"ok\":true,"
+            "\"none\":null,\"items\":[1,2]}");
+}
+
+TEST(Json, IntegersPrintWithoutExponent) {
+  // Counter values (uint64) must survive a dump/parse cycle exactly for
+  // values representable in a double.
+  json::Value V(static_cast<uint64_t>(639442944));
+  EXPECT_EQ(V.dump(), "639442944");
+  json::Value Big(static_cast<int64_t>(1) << 50);
+  EXPECT_EQ(Big.dump(), "1125899906842624");
+}
+
+TEST(Json, SetOverwritesExistingKey) {
+  json::Value Doc = json::Value::object();
+  Doc.set("k", 1);
+  Doc.set("k", 2);
+  EXPECT_EQ(Doc.size(), 1u);
+  EXPECT_EQ(Doc.numberAt("k"), 2.0);
+}
+
+TEST(Json, StringEscaping) {
+  json::Value V(std::string("a\"b\\c\n\t\x01"));
+  std::string S = V.dump();
+  EXPECT_EQ(S, "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+  // And back through the parser.
+  std::string Err;
+  json::Value Back = json::parse(S, &Err);
+  ASSERT_TRUE(Back.isString()) << Err;
+  EXPECT_EQ(Back.asString(), "a\"b\\c\n\t\x01");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const char *Text = R"({
+    "schema": "latte-bench-v1",
+    "rows": [
+      {"label": "caffe", "fwd_sec": 0.0125, "bwd_sec": 0.025},
+      {"label": "latte_full", "fwd_sec": 0.001, "bwd_sec": 0.002}
+    ],
+    "host": {"openmp": true, "cpu_count": 8},
+    "empty_obj": {},
+    "empty_arr": [],
+    "neg": -1.5e-3
+  })";
+  std::string Err;
+  json::Value Doc = json::parse(Text, &Err);
+  ASSERT_TRUE(Doc.isObject()) << Err;
+  EXPECT_EQ(Doc.stringAt("schema"), "latte-bench-v1");
+  const json::Value *Rows = Doc.find("rows");
+  ASSERT_NE(Rows, nullptr);
+  ASSERT_TRUE(Rows->isArray());
+  ASSERT_EQ(Rows->items().size(), 2u);
+  EXPECT_EQ(Rows->items()[1].stringAt("label"), "latte_full");
+  EXPECT_DOUBLE_EQ(Rows->items()[0].numberAt("fwd_sec"), 0.0125);
+  EXPECT_TRUE(Doc.at("host").asBool() == false); // object, not a bool
+  EXPECT_TRUE(Doc.at("host").at("openmp").asBool());
+  EXPECT_DOUBLE_EQ(Doc.numberAt("neg"), -1.5e-3);
+  EXPECT_TRUE(Doc.at("empty_obj").isObject());
+  EXPECT_TRUE(Doc.at("empty_arr").isArray());
+  EXPECT_EQ(Doc.at("empty_arr").size(), 0u);
+
+  // Dump → parse → dump must be a fixed point.
+  std::string Once = Doc.dump(2);
+  json::Value Again = json::parse(Once, &Err);
+  ASSERT_FALSE(Again.isNull()) << Err;
+  EXPECT_EQ(Again.dump(2), Once);
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  std::string Err;
+  json::Value V = json::parse("\"caf\\u00e9\"", &Err);
+  ASSERT_TRUE(V.isString()) << Err;
+  EXPECT_EQ(V.asString(), "caf\xc3\xa9");
+}
+
+TEST(Json, ParseErrors) {
+  std::string Err;
+  EXPECT_TRUE(json::parse("{", &Err).isNull());
+  EXPECT_FALSE(Err.empty());
+  EXPECT_TRUE(json::parse("[1, 2,]", &Err).isNull());
+  EXPECT_TRUE(json::parse("{\"a\": 1} trailing", &Err).isNull());
+  EXPECT_TRUE(json::parse("", &Err).isNull());
+  EXPECT_TRUE(json::parse("nul", &Err).isNull());
+  // Error recovery: a failed parse still leaves the API usable.
+  EXPECT_FALSE(json::parse("true", &Err).isNull());
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  json::Value V(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(V.dump(), "null");
+}
+
+TEST(Json, MissingMemberFallbacks) {
+  json::Value Doc = json::Value::object();
+  Doc.set("s", "x");
+  EXPECT_EQ(Doc.find("absent"), nullptr);
+  EXPECT_TRUE(Doc.at("absent").isNull());
+  EXPECT_TRUE(Doc.at("absent").at("deeper").isNull()); // chainable
+  EXPECT_DOUBLE_EQ(Doc.numberAt("absent", 7.0), 7.0);
+  EXPECT_EQ(Doc.stringAt("absent", "d"), "d");
+  EXPECT_DOUBLE_EQ(Doc.numberAt("s", 7.0), 7.0); // wrong type → default
+}
+
+} // namespace
