@@ -1,0 +1,43 @@
+//===- analyze/races.h - Static race detection ------------------*- C++ -*-===//
+///
+/// \file
+/// Intersects the buffer-effect footprints of a Parallelize-annotated task
+/// unit across *distinct* iterations of its collapsed batch×tile space. Two
+/// accesses conflict when some pair of different iteration points touches a
+/// common element and at least one access writes. Conflicts are reported as
+/// structured diagnostics:
+///
+///   - `race.write-write` / `race.read-write` (Error): a proven conflict
+///     between exact footprints — the parallel schedule is unsound.
+///   - `race.possible` (Warning): the conflict involves a conservative
+///     (inexact) footprint or the feasibility search exceeded its budget,
+///     so the analysis cannot prove the unit race-free.
+///   - `race.lossy-accumulation` (Note): every conflicting access is a
+///     commutative `+=` accumulation in a backward program — the declared
+///     §6 lossy-gradient path. Flagged, not silenced: the engine only runs
+///     these loops in parallel when `LossyGradients` is set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_ANALYZE_RACES_H
+#define LATTE_ANALYZE_RACES_H
+
+#include "analyze/diagnostics.h"
+#include "analyze/effects.h"
+
+#include <string>
+
+namespace latte {
+namespace analyze {
+
+/// Checks one parallel task unit's effects for cross-iteration conflicts and
+/// appends race.* diagnostics to \p Diags. \p IsBackward selects the lossy
+/// accumulation whitelist; \p TaskLabel tags the diagnostics. A unit with no
+/// parallel dimensions never conflicts with itself.
+void detectRaces(const UnitEffects &UE, bool IsBackward,
+                 const std::string &TaskLabel, DiagnosticReport &Diags);
+
+} // namespace analyze
+} // namespace latte
+
+#endif // LATTE_ANALYZE_RACES_H

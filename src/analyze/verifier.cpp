@@ -1,0 +1,506 @@
+//===- analyze/verifier.cpp -----------------------------------*- C++ -*-===//
+
+#include "analyze/verifier.h"
+
+#include "analyze/effects.h"
+#include "analyze/races.h"
+#include "ir/expr.h"
+#include "ir/printer.h"
+#include "ir/visitor.h"
+#include "support/casting.h"
+
+#include <set>
+#include <sstream>
+
+using namespace latte;
+using namespace latte::analyze;
+using namespace latte::compiler;
+using namespace latte::ir;
+
+namespace {
+
+/// First few lines of the printed statement, for diagnostic snippets.
+std::string snippetOf(const Stmt *S) {
+  if (!S)
+    return "";
+  std::string Text = printStmt(S);
+  while (!Text.empty() && Text.back() == '\n')
+    Text.pop_back();
+  size_t Pos = 0;
+  for (int Line = 0; Line < 4; ++Line) {
+    Pos = Text.find('\n', Pos);
+    if (Pos == std::string::npos)
+      return Text;
+    ++Pos;
+  }
+  return Text.substr(0, Pos) + "...";
+}
+
+//===----------------------------------------------------------------------===//
+// Buffer / binding / label checks
+//===----------------------------------------------------------------------===//
+
+void verifyBuffers(const Program &Prog, DiagnosticReport &R) {
+  std::set<std::string> FloatNames, IntNames;
+  for (const BufferInfo &B : Prog.Buffers) {
+    if (!FloatNames.insert(B.Name).second)
+      R.error("buffer.duplicate", "duplicate buffer name").Buffer = B.Name;
+    if (B.Dims.rank() < 1 || B.Dims.numElements() < 1)
+      R.error("buffer.shape", "buffer has an empty shape").Buffer = B.Name;
+  }
+  for (const IntBufferInfo &B : Prog.IntBuffers) {
+    if (!IntNames.insert(B.Name).second)
+      R.error("buffer.duplicate", "duplicate int buffer name").Buffer =
+          B.Name;
+    if (!B.isStatic() && B.Count < 1)
+      R.error("buffer.shape", "dynamic int buffer has no extent").Buffer =
+          B.Name;
+  }
+  // Alias chains must resolve acyclically to a same-sized owning buffer.
+  for (const BufferInfo &B : Prog.Buffers) {
+    if (B.AliasOf.empty())
+      continue;
+    std::set<std::string> Visited{B.Name};
+    const BufferInfo *Cur = &B;
+    while (!Cur->AliasOf.empty()) {
+      const BufferInfo *Next = Prog.findBuffer(Cur->AliasOf);
+      if (!Next) {
+        R.error("buffer.alias",
+                "alias target '" + Cur->AliasOf + "' does not exist")
+            .Buffer = B.Name;
+        Cur = nullptr;
+        break;
+      }
+      if (!Visited.insert(Next->Name).second) {
+        R.error("buffer.alias", "alias chain forms a cycle").Buffer = B.Name;
+        Cur = nullptr;
+        break;
+      }
+      Cur = Next;
+    }
+    if (Cur && Cur->Dims.numElements() != B.Dims.numElements())
+      R.error("buffer.alias",
+              "aliases '" + Cur->Name + "' of different element count (" +
+                  std::to_string(B.Dims.numElements()) + " vs " +
+                  std::to_string(Cur->Dims.numElements()) + ")")
+          .Buffer = B.Name;
+  }
+}
+
+void verifyParamBindings(const Program &Prog, DiagnosticReport &R) {
+  for (const ParamBinding &P : Prog.Params) {
+    const BufferInfo *Param = Prog.findBuffer(P.Param);
+    const BufferInfo *Grad = Prog.findBuffer(P.Grad);
+    if (!Param || Param->Role != BufferRole::Param) {
+      R.error("program.param-bindings",
+              "binding references missing or non-Param buffer")
+          .Buffer = P.Param;
+      continue;
+    }
+    if (!Grad || Grad->Role != BufferRole::ParamGrad) {
+      R.error("program.param-bindings",
+              "binding references missing or non-ParamGrad buffer")
+          .Buffer = P.Grad;
+      continue;
+    }
+    if (Param->Dims.numElements() != Grad->Dims.numElements())
+      R.error("program.param-bindings",
+              "parameter and gradient shapes disagree ('" + P.Param +
+                  "' vs '" + P.Grad + "')")
+          .Buffer = P.Param;
+  }
+}
+
+void verifyFusionGroups(const Program &Prog, DiagnosticReport &R) {
+  for (const std::vector<std::string> &Group : Prog.Report.FusionGroups) {
+    bool Covered = false;
+    for (const TaskLabel &L : Prog.ForwardTasks) {
+      std::set<std::string> Have(L.Ensembles.begin(), L.Ensembles.end());
+      bool All = true;
+      for (const std::string &E : Group)
+        All &= Have.count(E) != 0;
+      if (All && !Group.empty()) {
+        Covered = true;
+        break;
+      }
+    }
+    if (!Covered) {
+      std::string Names;
+      for (const std::string &E : Group)
+        Names += (Names.empty() ? "" : "+") + E;
+      R.warning("program.fusion-groups",
+                "reported fusion group '" + Names +
+                    "' matches no forward task");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-unit structural walk
+//===----------------------------------------------------------------------===//
+
+class UnitVerifier {
+public:
+  UnitVerifier(const BufferTable &Bufs, const std::string &Task,
+               DiagnosticReport &R)
+      : Bufs(Bufs), Task(Task), R(R) {}
+
+  void run(const Stmt *Unit) { walkStmt(Unit, /*TopLevel=*/true); }
+
+private:
+  Diagnostic &error(const std::string &Code, const std::string &Msg,
+                    const Stmt *S) {
+    Diagnostic &D = R.error(Code, Msg);
+    D.Task = Task;
+    D.Snippet = snippetOf(S);
+    return D;
+  }
+
+  /// Index / loop-bound / kernel-expr position: must be built from integer
+  /// constants, bound integer loop variables, and arithmetic.
+  void checkIntExpr(const Expr *E, const Stmt *Ctx) {
+    if (!E) {
+      error("ir.index-type", "missing integer expression", Ctx);
+      return;
+    }
+    switch (E->kind()) {
+    case Expr::Kind::IntConst:
+      return;
+    case Expr::Kind::Var: {
+      const std::string &Name = cast<VarExpr>(E)->name();
+      if (IntVars.count(Name))
+        return;
+      error("ir.var-use",
+            FloatVars.count(Name)
+                ? "float local '" + Name + "' used in an integer position"
+                : "use of undefined loop variable '" + Name + "'",
+            Ctx);
+      return;
+    }
+    case Expr::Kind::Binary:
+      checkIntExpr(cast<BinaryExpr>(E)->lhs(), Ctx);
+      checkIntExpr(cast<BinaryExpr>(E)->rhs(), Ctx);
+      return;
+    default:
+      error("ir.index-type",
+            "expression is not integer-evaluable: " + printExpr(E), Ctx);
+      return;
+    }
+  }
+
+  /// Float value position: variables must be bound, loads well-formed.
+  void checkValueExpr(const Expr *E, const Stmt *Ctx) {
+    walkExprs(E, [&](const Expr *Node) {
+      if (const auto *V = dyn_cast<VarExpr>(Node)) {
+        if (!IntVars.count(V->name()) && !FloatVars.count(V->name()))
+          error("ir.var-use", "use of undefined variable '" + V->name() + "'",
+                Ctx);
+        return;
+      }
+      const auto *L = dyn_cast<LoadExpr>(Node);
+      if (!L)
+        return;
+      const BufferTable::FloatInfo *FI = Bufs.floatInfo(L->buffer());
+      if (!FI) {
+        error("ir.unknown-buffer",
+              "load from unknown buffer '" + L->buffer() + "'", Ctx)
+            .Buffer = L->buffer();
+        return;
+      }
+      if (static_cast<int>(L->indices().size()) != FI->rank())
+        error("ir.index-rank",
+              "load indexes rank-" + std::to_string(FI->rank()) +
+                  " buffer with " + std::to_string(L->indices().size()) +
+                  " indices",
+              Ctx)
+            .Buffer = L->buffer();
+      for (const ExprPtr &I : L->indices())
+        checkIntExpr(I.get(), Ctx);
+    });
+  }
+
+  void walkStmt(const Stmt *S, bool TopLevel = false) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case Stmt::Kind::Block:
+      for (const StmtPtr &Child : cast<BlockStmt>(S)->stmts())
+        walkStmt(Child.get());
+      return;
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      if (F->extent() < 0)
+        error("ir.loop", "loop extent is negative", S);
+      checkIntExpr(F->lo(), S);
+      const LoopAnnotations &A = F->annotations();
+      if (A.Collapse != 1 && A.Collapse != 2)
+        error("ir.loop",
+              "collapse(" + std::to_string(A.Collapse) +
+                  ") is not supported (engine handles 1 and 2)",
+              S);
+      if (A.Collapse == 2) {
+        const auto *B = dyn_cast_if_present<const BlockStmt>(F->body());
+        bool SingleTiled =
+            B && B->stmts().size() == 1 &&
+            isa<TiledLoopStmt>(B->stmts()[0].get());
+        if (!A.Parallel || !SingleTiled)
+          error("ir.loop",
+                "collapse(2) requires a parallel loop over a single tiled "
+                "loop",
+                S);
+      }
+      bool Shadowed = IntVars.count(F->var()) != 0;
+      IntVars.insert(F->var());
+      bool SavedParallel = InParallel;
+      InParallel |= A.Parallel;
+      ++LoopDepth;
+      walkStmt(F->body());
+      --LoopDepth;
+      InParallel = SavedParallel;
+      if (!Shadowed)
+        IntVars.erase(F->var());
+      return;
+    }
+    case Stmt::Kind::TiledLoop: {
+      const auto *T = cast<TiledLoopStmt>(S);
+      if (T->numTiles() < 0 || T->tileSize() < 0)
+        error("ir.loop", "tiled loop has negative tile geometry", S);
+      bool Shadowed = IntVars.count(T->tileVar()) != 0;
+      IntVars.insert(T->tileVar());
+      ++LoopDepth;
+      walkStmt(T->body());
+      --LoopDepth;
+      if (!Shadowed)
+        IntVars.erase(T->tileVar());
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(S);
+      checkValueExpr(If->cond(), S);
+      walkStmt(If->thenStmt());
+      walkStmt(If->elseStmt());
+      return;
+    }
+    case Stmt::Kind::Store: {
+      const auto *St = cast<StoreStmt>(S);
+      const BufferTable::FloatInfo *FI = Bufs.floatInfo(St->buffer());
+      if (!FI) {
+        error("ir.unknown-buffer",
+              "store to unknown buffer '" + St->buffer() + "'", S)
+            .Buffer = St->buffer();
+      } else if (static_cast<int>(St->indices().size()) != FI->rank()) {
+        error("ir.index-rank",
+              "store indexes rank-" + std::to_string(FI->rank()) +
+                  " buffer with " + std::to_string(St->indices().size()) +
+                  " indices",
+              S)
+            .Buffer = St->buffer();
+      }
+      for (const ExprPtr &I : St->indices())
+        checkIntExpr(I.get(), S);
+      checkValueExpr(St->value(), S);
+      return;
+    }
+    case Stmt::Kind::Decl: {
+      const auto *D = cast<DeclStmt>(S);
+      checkValueExpr(D->init(), S);
+      FloatVars.insert(D->name()); // engine scope: visible until unit end
+      return;
+    }
+    case Stmt::Kind::AssignVar: {
+      const auto *A = cast<AssignVarStmt>(S);
+      if (!FloatVars.count(A->name()))
+        error("ir.var-use",
+              "assignment to undeclared local '" + A->name() + "'", S);
+      checkValueExpr(A->value(), S);
+      return;
+    }
+    case Stmt::Kind::KernelCall: {
+      const auto *K = cast<KernelCallStmt>(S);
+      const KernelSignature Sig = kernelSignature(K->kernel());
+      std::string KName = kernelKindName(K->kernel());
+      if (static_cast<int>(K->bufs().size()) != Sig.NumBufs ||
+          static_cast<int>(K->intArgs().size()) != Sig.NumInts ||
+          static_cast<int>(K->exprArgs().size()) != Sig.NumExprs ||
+          static_cast<int>(K->floatArgs().size()) != Sig.NumFloats) {
+        error("kernel.arity",
+              "kernel '" + KName + "' expects " +
+                  std::to_string(Sig.NumBufs) + " buffers, " +
+                  std::to_string(Sig.NumInts) + " ints, " +
+                  std::to_string(Sig.NumExprs) + " exprs, " +
+                  std::to_string(Sig.NumFloats) + " floats; got " +
+                  std::to_string(K->bufs().size()) + "/" +
+                  std::to_string(K->intArgs().size()) + "/" +
+                  std::to_string(K->exprArgs().size()) + "/" +
+                  std::to_string(K->floatArgs().size()),
+              S);
+        return;
+      }
+      for (size_t I = 0; I < K->bufs().size(); ++I) {
+        const KernelBufArg &B = K->bufs()[I];
+        bool WantInt = kernelBufArgIsInt(K->kernel(), I);
+        bool Known = WantInt ? Bufs.intInfo(B.Buffer) != nullptr
+                             : Bufs.floatInfo(B.Buffer) != nullptr;
+        if (!Known)
+          error("ir.unknown-buffer",
+                "kernel '" + KName + "' references unknown " +
+                    (WantInt ? "int " : "") + "buffer '" + B.Buffer + "'",
+                S)
+              .Buffer = B.Buffer;
+        if (B.Offset)
+          checkIntExpr(B.Offset.get(), S);
+      }
+      for (const ExprPtr &E : K->exprArgs())
+        checkIntExpr(E.get(), S);
+      if (K->kernel() == KernelKind::DropoutMask && InParallel)
+        error("kernel.rng-in-parallel",
+              "stateful dropout RNG inside a parallel loop is "
+              "non-deterministic and racy",
+              S);
+      return;
+    }
+    case Stmt::Kind::Barrier:
+      if (!TopLevel)
+        error("ir.barrier-placement",
+              "barrier nested inside a unit (must separate top-level "
+              "tasks)",
+              S);
+      return;
+    }
+  }
+
+  const BufferTable &Bufs;
+  const std::string &Task;
+  DiagnosticReport &R;
+  std::set<std::string> IntVars, FloatVars;
+  int LoopDepth = 0;
+  bool InParallel = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Effect-level checks
+//===----------------------------------------------------------------------===//
+
+void checkBounds(const UnitEffects &UE, const BufferTable &Bufs,
+                 const std::string &Task, DiagnosticReport &R) {
+  for (const auto &[Buffer, Accesses] : UE.Effects.Buffers) {
+    bool IsInt = Buffer.rfind("int:", 0) == 0;
+    int64_t Count = 0;
+    if (IsInt) {
+      const BufferTable::IntInfo *II = Bufs.intInfo(Buffer.substr(4));
+      if (!II)
+        continue;
+      Count = II->Count;
+    } else {
+      const BufferTable::FloatInfo *FI = Bufs.floatInfo(Buffer);
+      if (!FI)
+        continue;
+      Count = FI->Count;
+    }
+    for (const Access &A : Accesses) {
+      if (!A.Fp.Exact)
+        continue; // conservative supersets are not bounds-checked
+      int64_t Min = A.Fp.Base.Const;
+      int64_t Max = A.Fp.Base.Const;
+      bool Known = A.Fp.Base.Affine;
+      for (const auto &[Var, C] : A.Fp.Base.Coeffs) {
+        const ParallelDim *Dim = nullptr;
+        for (const ParallelDim &D : UE.Dims)
+          if (D.Var == Var)
+            Dim = &D;
+        if (!Dim || Dim->Extent <= 0) {
+          Known = false;
+          break;
+        }
+        int64_t VMin = Dim->Lo, VMax = Dim->Lo + Dim->Extent - 1;
+        Min += C * (C >= 0 ? VMin : VMax);
+        Max += C * (C >= 0 ? VMax : VMin);
+      }
+      if (!Known)
+        continue;
+      int64_t End = Max + A.Fp.spanEnd();
+      if (Min < 0 || End > Count) {
+        Diagnostic &D = R.error(
+            "ir.bounds", "access may reach elements [" +
+                             std::to_string(Min) + ", " +
+                             std::to_string(End) + ") of a " +
+                             std::to_string(Count) + "-element buffer: " +
+                             A.Detail + " [" + A.Fp.str() + "]");
+        D.Task = Task;
+        D.Buffer = Buffer;
+      }
+    }
+  }
+}
+
+void verifyProgramIR(const Stmt *Root, const std::vector<TaskLabel> &Labels,
+                     bool IsBackward, const BufferTable &Bufs,
+                     const VerifyOptions &Opts, DiagnosticReport &R) {
+  if (!Root)
+    return;
+  const auto *Block = dyn_cast<BlockStmt>(Root);
+  if (!Block) {
+    R.error("program.structure",
+            "assembled program root must be a block of task units")
+        .Snippet = snippetOf(Root);
+    return;
+  }
+  const std::vector<StmtPtr> &Units = Block->stmts();
+  bool HaveLabels = !Labels.empty() || Units.empty();
+  if (HaveLabels && Labels.size() != Units.size())
+    R.error("program.task-labels",
+            "task labels must stay parallel to assembled units (" +
+                std::to_string(Labels.size()) + " labels, " +
+                std::to_string(Units.size()) + " units)");
+  for (size_t I = 0; I < Units.size(); ++I) {
+    const Stmt *Unit = Units[I].get();
+    std::string Label = I < Labels.size()
+                            ? Labels[I].Name
+                            : (IsBackward ? "bwd-task#" : "task#") +
+                                  std::to_string(I);
+    if (I < Labels.size()) {
+      bool IsBarrierUnit = isa<BarrierStmt>(Unit);
+      bool IsBarrierLabel = Labels[I].Name.rfind("barrier:", 0) == 0;
+      if (IsBarrierUnit != IsBarrierLabel) {
+        Diagnostic &D = R.error(
+            "program.task-labels",
+            IsBarrierUnit
+                ? "barrier unit carries non-barrier label '" +
+                      Labels[I].Name + "'"
+                : "label '" + Labels[I].Name +
+                      "' marks a barrier but the unit is not one");
+        D.Task = Labels[I].Name;
+        D.Snippet = snippetOf(Unit);
+      }
+    }
+    UnitVerifier UV(Bufs, Label, R);
+    UV.run(Unit);
+
+    // The structural walk above already reports collection failures
+    // (unknown buffers, kernel arity), so effects are collected silently.
+    UnitEffects UE = collectUnitEffects(Unit, Bufs, nullptr);
+    if (Opts.CheckBounds)
+      checkBounds(UE, Bufs, Label, R);
+    if (Opts.CheckRaces)
+      detectRaces(UE, IsBackward, Label, R);
+  }
+}
+
+} // namespace
+
+DiagnosticReport analyze::verifyProgram(const Program &Prog,
+                                        const VerifyOptions &Opts) {
+  DiagnosticReport R;
+  verifyBuffers(Prog, R);
+  verifyParamBindings(Prog, R);
+  verifyFusionGroups(Prog, R);
+  // A broken buffer table poisons every downstream footprint; stop early.
+  if (R.hasErrors())
+    return R;
+  BufferTable Bufs(Prog);
+  verifyProgramIR(Prog.Forward.get(), Prog.ForwardTasks, /*IsBackward=*/false,
+                  Bufs, Opts, R);
+  verifyProgramIR(Prog.Backward.get(), Prog.BackwardTasks,
+                  /*IsBackward=*/true, Bufs, Opts, R);
+  return R;
+}

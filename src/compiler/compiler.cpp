@@ -2,14 +2,30 @@
 
 #include "compiler/compiler.h"
 
+#include "analyze/verifier.h"
 #include "compiler/passes.h"
 #include "compiler/synthesis.h"
 #include "ir/printer.h"
+#include "support/error.h"
 #include "support/profile.h"
 #include "support/timer.h"
 
+#include <cstdlib>
+
 using namespace latte;
 using namespace latte::compiler;
+
+namespace {
+
+/// LATTE_VERIFY_EACH=1/0 overrides the option (so CI can force post-pass
+/// verification in release builds without touching call sites).
+bool verifyEachEnabled(const CompileOptions &Opts) {
+  if (const char *Env = std::getenv("LATTE_VERIFY_EACH"))
+    return Env[0] != '0';
+  return Opts.VerifyEach;
+}
+
+} // namespace
 
 Program compiler::compile(const core::Net &Net, const CompileOptions &Opts) {
   prof::ScopedPhase Phase("compile");
@@ -24,6 +40,13 @@ Program compiler::compile(const core::Net &Net, const CompileOptions &Opts) {
     assemblePrograms(std::move(Tasks), Opts, Prog);
   }
   prof::count(prof::Counter::FusionHits, Prog.Report.FusionGroups.size());
+  if (verifyEachEnabled(Opts)) {
+    prof::ScopedTimer T("verify-each");
+    analyze::DiagnosticReport R = analyze::verifyProgram(Prog);
+    if (R.hasErrors())
+      reportFatalError("VerifyEach: compiled program failed verification:\n" +
+                       R.render());
+  }
   return Prog;
 }
 

@@ -142,6 +142,10 @@ StmtPtr Assembler::assemble(std::vector<EnsembleTask> Tasks,
     }
   }
   flushGroup(Units, Group, ReportFusion);
+  // Debug-build fast path; the release-mode promotion of this invariant
+  // lives in analyze::verifyProgram (program.task-labels), which
+  // CompileOptions::VerifyEach runs after every compile, and in the
+  // engine's constructor-time label check.
   assert(Units.size() == Labels.size() &&
          "task labels must stay parallel to assembled units");
   return block(std::move(Units), Label);

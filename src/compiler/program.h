@@ -153,6 +153,16 @@ struct CompileOptions {
   int64_t MinRowsToTile = 32;
   bool GradSyncHooks = false; ///< emit async-allreduce hooks after each
                               ///< ensemble's backward (§5.3)
+  /// Run analyze::verifyProgram on the assembled program after every
+  /// compile() — and therefore after every compileStaged() stage — and
+  /// abort on Error diagnostics (LLVM's -verify-each discipline). Defaults
+  /// on in debug builds and CI, off in release; the environment variable
+  /// LATTE_VERIFY_EACH=1/0 overrides in either direction.
+#ifdef NDEBUG
+  bool VerifyEach = false;
+#else
+  bool VerifyEach = true;
+#endif
 };
 
 } // namespace compiler

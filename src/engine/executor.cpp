@@ -91,6 +91,23 @@ Executor::Executor(Program TheProg, ExecOptions Opts)
     else
       IntBuffers[B.Name].assign(static_cast<size_t>(B.Count), 0);
   }
+  // Honor the verified-program label invariant (analyze::verifyProgram,
+  // program.task-labels): profiling attributes trace spans to units by
+  // position, so a non-parallel label vector would mislabel every span.
+  auto CheckLabels = [](const Stmt *Root, const std::vector<TaskLabel> &Labels,
+                        const char *Which) {
+    if (Labels.empty() || !Root)
+      return; // hand-built programs carry no labels
+    const auto *B = dyn_cast<BlockStmt>(Root);
+    size_t Units = B ? B->stmts().size() : 1;
+    if (Labels.size() != Units)
+      reportFatalError(std::string(Which) +
+                       " task labels are not parallel to the program units (" +
+                       std::to_string(Labels.size()) + " labels, " +
+                       std::to_string(Units) + " units)");
+  };
+  CheckLabels(Prog.Forward.get(), Prog.ForwardTasks, "forward");
+  CheckLabels(Prog.Backward.get(), Prog.BackwardTasks, "backward");
   initParams(Opts.Seed);
 }
 

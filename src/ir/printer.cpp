@@ -5,12 +5,29 @@
 #include "support/error.h"
 #include "support/string_utils.h"
 
+#include <charconv>
 #include <sstream>
 
 using namespace latte;
 using namespace latte::ir;
 
 namespace {
+
+/// Shortest decimal form that parses back to the exact same double
+/// (std::to_chars), independent of stream precision state and locale, so
+/// printed IR is stable across runs and round-trips through clone/reprint.
+/// Integral values keep a trailing ".0" to stay visually distinct from ints.
+std::string formatFloat(double V) {
+  char Buf[64];
+  auto [Ptr, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), V);
+  std::string Text(Buf, Ptr);
+  if (Text.find('.') == std::string::npos &&
+      Text.find('e') == std::string::npos &&
+      Text.find("inf") == std::string::npos &&
+      Text.find("nan") == std::string::npos)
+    Text += ".0";
+  return Text;
+}
 
 const char *binaryOpName(BinaryOpKind Op) {
   switch (Op) {
@@ -107,17 +124,8 @@ std::string ir::printExpr(const Expr *E) {
   switch (E->kind()) {
   case Expr::Kind::IntConst:
     return std::to_string(cast<IntConstExpr>(E)->value());
-  case Expr::Kind::FloatConst: {
-    std::ostringstream OS;
-    OS << cast<FloatConstExpr>(E)->value();
-    std::string Text = OS.str();
-    if (Text.find('.') == std::string::npos &&
-        Text.find('e') == std::string::npos &&
-        Text.find("inf") == std::string::npos &&
-        Text.find("nan") == std::string::npos)
-      Text += ".0";
-    return Text;
-  }
+  case Expr::Kind::FloatConst:
+    return formatFloat(cast<FloatConstExpr>(E)->value());
   case Expr::Kind::Var:
     return cast<VarExpr>(E)->name();
   case Expr::Kind::Load: {
@@ -243,11 +251,8 @@ void printStmtImpl(const Stmt *S, int Indent, std::ostringstream &OS) {
       Parts.push_back(std::to_string(V));
     for (const ExprPtr &E : K->exprArgs())
       Parts.push_back(printExpr(E.get()));
-    for (double V : K->floatArgs()) {
-      std::ostringstream FS;
-      FS << V;
-      Parts.push_back(FS.str());
-    }
+    for (double V : K->floatArgs())
+      Parts.push_back(formatFloat(V));
     OS << join(Parts, ", ") << ")\n";
     return;
   }

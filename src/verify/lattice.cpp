@@ -139,6 +139,7 @@ CompileOptions verify::optionsForMask(unsigned Mask,
   C.VectorKernels = (Mask & 32u) != 0;
   C.TileSize = O.TileSize;
   C.MinRowsToTile = O.MinRowsToTile;
+  C.VerifyEach = O.VerifyEach;
   return C;
 }
 

@@ -52,6 +52,10 @@ struct LatticeOptions {
   /// of MinRowsToTile=32 would leave them untiled).
   int64_t TileSize = 4;
   int64_t MinRowsToTile = 2;
+  /// Run the static verifier (analyze::verifyProgram) on every lattice
+  /// point's compilation; an Error diagnostic aborts, so a passing lattice
+  /// run doubles as a zero-false-positive proof for the verifier.
+  bool VerifyEach = false;
 };
 
 /// Where a lattice point first disagreed with the reference.

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 using namespace latte;
 using namespace latte::ir;
 
@@ -177,6 +180,44 @@ TEST(IrVisitorTest, ExprEqualsDistinguishesOps) {
   ExprPtr C = add(var("x"), var("y"));
   EXPECT_FALSE(exprEquals(A.get(), B.get()));
   EXPECT_TRUE(exprEquals(A.get(), C.get()));
+}
+
+TEST(IrPrinterTest, FloatConstantsRoundTripExactly) {
+  // Shortest-round-trip formatting: parsing the printed text recovers the
+  // exact double, including values the old 6-significant-digit stream
+  // default would have truncated.
+  for (double V : {0.1, 1.0 / 3.0, 2.5e-8, -0.875, 1234567.25, 1e300,
+                   0.30000000000000004}) {
+    std::string Text = printExpr(floatConst(V).get());
+    EXPECT_EQ(std::stod(Text), V) << Text;
+  }
+  // Integral doubles keep the ".0" marker.
+  EXPECT_EQ(printExpr(floatConst(1.0).get()), "1.0");
+  EXPECT_EQ(printExpr(floatConst(-3.0).get()), "-3.0");
+  EXPECT_EQ(printExpr(floatConst(0.1).get()), "0.1");
+}
+
+TEST(IrPrinterTest, AdjacentDoublesPrintDistinctly) {
+  double A = 0.1;
+  double B = std::nextafter(A, 1.0);
+  EXPECT_NE(printExpr(floatConst(A).get()), printExpr(floatConst(B).get()));
+}
+
+TEST(IrPrinterTest, PrintIsStableAcrossCloneAndReprint) {
+  // Kernel float args and float constants must print identically on every
+  // pass over the same IR (clone -> reprint round-trip).
+  StmtPtr K = kernelCall(KernelKind::Scale, bufArgs(KernelBufArg("buf")),
+                         {128}, {0.012345678901234567});
+  std::vector<StmtPtr> Stmts;
+  Stmts.push_back(std::move(K));
+  Stmts.push_back(forLoop("i", 4, storeAssign("buf", exprs(var("i")),
+                                              floatConst(1.0 / 3.0))));
+  StmtPtr S = block(std::move(Stmts), "stability");
+  std::string First = printStmt(S.get());
+  StmtPtr C = S->clone();
+  EXPECT_EQ(First, printStmt(C.get()));
+  EXPECT_EQ(First, printStmt(S.get()));
+  EXPECT_NE(First.find("0.012345678901234567"), std::string::npos) << First;
 }
 
 TEST(IrStmtTest, BarrierAndBlockLabels) {

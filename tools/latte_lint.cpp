@@ -1,0 +1,318 @@
+//===- tools/latte_lint.cpp - Static analysis CLI ---------------*- C++ -*-===//
+///
+/// \file
+/// latte-lint: compiles a shipped model (src/models/) at a chosen
+/// CompileOptions lattice point (or all 2^6 of them), runs the static
+/// verifier + race detector, and prints structured diagnostics, optionally
+/// with per-task effect-set dumps. Exit code 1 when any Error diagnostic
+/// was produced, 0 otherwise (warnings and the declared §6 lossy
+/// accumulation notes do not fail the run).
+///
+/// The --corrupt mode injects one of the hand-corruption fixtures the
+/// verifier tests key on (shape-mismatch, use-before-def, dropped-barrier,
+/// cross-iteration-write) into the compiled program before verification;
+/// with --expect CODE it exits 0 iff the verifier found errors including
+/// CODE — i.e. iff an uncorrupted lint run *would* have exited 1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analyze/effects.h"
+#include "analyze/verifier.h"
+#include "compiler/compiler.h"
+#include "core/graph.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "models/models.h"
+#include "support/casting.h"
+#include "verify/lattice.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace latte;
+
+namespace {
+
+struct Options {
+  std::string Model = "lenet";
+  int Mask = -1; ///< -1 = all masks
+  int64_t Batch = 2;
+  double Scale = 0.25;
+  bool DumpEffects = false;
+  bool DumpIR = false;
+  std::string Corrupt; ///< fixture name, empty = none
+  std::string Expect;  ///< diagnostic code required under --corrupt
+};
+
+const char *kModels[] = {"lenet",    "mlp",  "alexnet", "vgga",
+                         "vgg16",    "vgg3", "overfeat"};
+
+models::ModelSpec specFor(const std::string &Name, double Scale) {
+  if (Name == "lenet")
+    return models::lenet();
+  if (Name == "mlp")
+    return models::mlp(64, {32, 16}, 10);
+  if (Name == "alexnet")
+    return models::alexNet(Scale);
+  if (Name == "vgga")
+    return models::vggA(Scale);
+  if (Name == "vgg16")
+    return models::vgg16(Scale);
+  if (Name == "vgg3")
+    return models::vggFirstThreeLayers(Scale);
+  if (Name == "overfeat")
+    return models::overfeat(Scale);
+  std::fprintf(stderr, "latte-lint: unknown model '%s' (try: ", Name.c_str());
+  for (const char *M : kModels)
+    std::fprintf(stderr, "%s ", M);
+  std::fprintf(stderr, ")\n");
+  std::exit(2);
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption fixtures
+//===----------------------------------------------------------------------===//
+
+/// Shrinks the first bound parameter buffer: its shape no longer agrees
+/// with the gradient buffer it is bound to (or with the kernels reading
+/// it).
+void corruptShapeMismatch(compiler::Program &Prog) {
+  for (compiler::BufferInfo &B : Prog.Buffers) {
+    if (B.Role != compiler::BufferRole::Param)
+      continue;
+    B.Dims = Shape({1});
+    return;
+  }
+  std::fprintf(stderr, "latte-lint: model has no Param buffer to corrupt\n");
+  std::exit(2);
+}
+
+/// Appends a unit whose store indexes with a loop variable that was never
+/// defined.
+void corruptUseBeforeDef(compiler::Program &Prog) {
+  auto *Block = dyn_cast<ir::BlockStmt>(Prog.Forward.get());
+  if (!Block || Prog.Buffers.empty()) {
+    std::fprintf(stderr, "latte-lint: forward program not corruptible\n");
+    std::exit(2);
+  }
+  const compiler::BufferInfo &B = Prog.Buffers.front();
+  std::vector<ir::ExprPtr> Indices;
+  for (int I = 0; I < B.Dims.rank(); ++I)
+    Indices.push_back(ir::var("zz"));
+  Block->stmts().push_back(
+      ir::storeAssign(B.Name, std::move(Indices), ir::floatConst(0.0)));
+  Prog.ForwardTasks.push_back({"batch[corrupt]", {}});
+}
+
+/// Deletes the first barrier unit (or, absent barriers, the last unit) but
+/// keeps its task label: the label vector is no longer parallel to the
+/// program.
+void corruptDroppedBarrier(compiler::Program &Prog) {
+  auto DropIn = [](ir::StmtPtr &Root) {
+    auto *Block = dyn_cast_if_present<ir::BlockStmt>(Root.get());
+    if (!Block || Block->stmts().empty())
+      return false;
+    std::vector<ir::StmtPtr> &Units = Block->stmts();
+    for (size_t I = 0; I < Units.size(); ++I) {
+      if (isa<ir::BarrierStmt>(Units[I].get())) {
+        Units.erase(Units.begin() + static_cast<long>(I));
+        return true;
+      }
+    }
+    Units.pop_back();
+    return true;
+  };
+  if (!DropIn(Prog.Backward) && !DropIn(Prog.Forward)) {
+    std::fprintf(stderr, "latte-lint: no unit to drop\n");
+    std::exit(2);
+  }
+}
+
+/// Injects a store to a fixed element into the first parallel batch loop:
+/// every iteration writes the same address.
+void corruptCrossIterationWrite(compiler::Program &Prog) {
+  auto *Block = dyn_cast_if_present<ir::BlockStmt>(Prog.Forward.get());
+  if (Block)
+    for (ir::StmtPtr &Unit : Block->stmts()) {
+      auto *F = dyn_cast<ir::ForStmt>(Unit.get());
+      if (!F || !F->annotations().Parallel)
+        continue;
+      auto *Body = dyn_cast<ir::BlockStmt>(F->body());
+      if (!Body || Prog.Buffers.empty())
+        continue;
+      const compiler::BufferInfo &B = Prog.Buffers.front();
+      std::vector<ir::ExprPtr> Indices;
+      for (int I = 0; I < B.Dims.rank(); ++I)
+        Indices.push_back(ir::intConst(0));
+      Body->stmts().push_back(
+          ir::storeAssign(B.Name, std::move(Indices), ir::floatConst(1.0)));
+      return;
+    }
+  std::fprintf(stderr,
+               "latte-lint: no parallel batch loop to corrupt (compile with "
+               "a parallelize mask bit, e.g. --mask 0x10)\n");
+  std::exit(2);
+}
+
+void applyCorruption(compiler::Program &Prog, const std::string &Kind) {
+  if (Kind == "shape-mismatch")
+    return corruptShapeMismatch(Prog);
+  if (Kind == "use-before-def")
+    return corruptUseBeforeDef(Prog);
+  if (Kind == "dropped-barrier")
+    return corruptDroppedBarrier(Prog);
+  if (Kind == "cross-iteration-write")
+    return corruptCrossIterationWrite(Prog);
+  std::fprintf(stderr,
+               "latte-lint: unknown corruption '%s' (shape-mismatch, "
+               "use-before-def, dropped-barrier, cross-iteration-write)\n",
+               Kind.c_str());
+  std::exit(2);
+}
+
+//===----------------------------------------------------------------------===//
+// Lint driver
+//===----------------------------------------------------------------------===//
+
+void dumpUnitEffects(const compiler::Program &Prog) {
+  analyze::BufferTable Bufs(Prog);
+  auto DumpProgram = [&](const ir::Stmt *Root,
+                         const std::vector<compiler::TaskLabel> &Labels,
+                         const char *Which) {
+    const auto *Block = dyn_cast_if_present<const ir::BlockStmt>(Root);
+    if (!Block)
+      return;
+    std::printf("%s effects:\n", Which);
+    for (size_t I = 0; I < Block->stmts().size(); ++I) {
+      std::string Label =
+          I < Labels.size() ? Labels[I].Name : "task#" + std::to_string(I);
+      analyze::UnitEffects UE =
+          analyze::collectUnitEffects(Block->stmts()[I].get(), Bufs, nullptr);
+      std::printf(" unit %zu '%s'%s\n", I, Label.c_str(),
+                  UE.Dims.empty() ? "" : " [parallel]");
+      std::fputs(analyze::dumpEffects(UE.Effects).c_str(), stdout);
+    }
+  };
+  DumpProgram(Prog.Forward.get(), Prog.ForwardTasks, "forward");
+  DumpProgram(Prog.Backward.get(), Prog.BackwardTasks, "backward");
+}
+
+/// Lints one (model, mask) point. Returns the number of Error diagnostics.
+int lintPoint(const core::Net &Net, unsigned Mask, const Options &Opt,
+              bool &ExpectMet) {
+  verify::LatticeOptions LO;
+  compiler::CompileOptions Copts = verify::optionsForMask(Mask, LO);
+  Copts.VerifyEach = false; // we verify explicitly to collect the report
+  compiler::Program Prog = compiler::compile(Net, Copts);
+  if (!Opt.Corrupt.empty())
+    applyCorruption(Prog, Opt.Corrupt);
+
+  analyze::DiagnosticReport R = analyze::verifyProgram(Prog);
+  std::printf("== %s mask=0x%02x [%s] ==\n", Opt.Model.c_str(), Mask,
+              verify::flagString(Copts).c_str());
+  if (R.empty())
+    std::printf("clean\n");
+  else
+    std::printf("%s\n", R.render().c_str());
+  if (Opt.DumpIR) {
+    std::printf("forward IR:\n%s", ir::printStmt(Prog.Forward.get()).c_str());
+    std::printf("backward IR:\n%s",
+                ir::printStmt(Prog.Backward.get()).c_str());
+  }
+  if (Opt.DumpEffects)
+    dumpUnitEffects(Prog);
+  if (!Opt.Expect.empty() && R.hasErrors() && R.hasCode(Opt.Expect))
+    ExpectMet = true;
+  return R.errors();
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: latte-lint [--model NAME|all] [--mask N|--all-masks]\n"
+      "                  [--batch N] [--scale F] [--dump-effects] "
+      "[--dump-ir]\n"
+      "                  [--corrupt KIND --expect CODE]\n"
+      "models: ");
+  for (const char *M : kModels)
+    std::fprintf(stderr, "%s ", M);
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  bool AllMasks = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "latte-lint: %s needs a value\n", A.c_str());
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (A == "--model")
+      Opt.Model = Next();
+    else if (A == "--mask")
+      Opt.Mask = static_cast<int>(std::strtol(Next(), nullptr, 0));
+    else if (A == "--all-masks")
+      AllMasks = true;
+    else if (A == "--batch")
+      Opt.Batch = std::strtol(Next(), nullptr, 0);
+    else if (A == "--scale")
+      Opt.Scale = std::strtod(Next(), nullptr);
+    else if (A == "--dump-effects")
+      Opt.DumpEffects = true;
+    else if (A == "--dump-ir")
+      Opt.DumpIR = true;
+    else if (A == "--corrupt")
+      Opt.Corrupt = Next();
+    else if (A == "--expect")
+      Opt.Expect = Next();
+    else
+      return usage();
+  }
+  if (Opt.Mask < 0 && !AllMasks && !Opt.Corrupt.empty())
+    Opt.Mask = (1 << verify::kNumLatticeSwitches) - 1; // corrupt: one point
+
+  std::vector<std::string> Models;
+  if (Opt.Model == "all")
+    Models.assign(std::begin(kModels), std::end(kModels));
+  else
+    Models.push_back(Opt.Model);
+
+  int TotalErrors = 0;
+  bool ExpectMet = false;
+  for (const std::string &Model : Models) {
+    Options PointOpt = Opt;
+    PointOpt.Model = Model;
+    models::ModelSpec Spec = specFor(Model, Opt.Scale);
+    core::Net Net(Opt.Batch);
+    models::buildLatte(Net, Spec, /*WithLoss=*/true);
+    if (Opt.Mask >= 0) {
+      TotalErrors +=
+          lintPoint(Net, static_cast<unsigned>(Opt.Mask), PointOpt, ExpectMet);
+    } else {
+      for (unsigned Mask = 0; Mask < (1u << verify::kNumLatticeSwitches);
+           ++Mask)
+        TotalErrors += lintPoint(Net, Mask, PointOpt, ExpectMet);
+    }
+  }
+
+  if (!Opt.Expect.empty()) {
+    if (ExpectMet) {
+      std::printf("expected diagnostic '%s' produced (corrupt run would "
+                  "exit 1)\n",
+                  Opt.Expect.c_str());
+      return 0;
+    }
+    std::printf("expected diagnostic '%s' NOT produced\n", Opt.Expect.c_str());
+    return 1;
+  }
+  return TotalErrors > 0 ? 1 : 0;
+}
