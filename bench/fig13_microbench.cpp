@@ -78,6 +78,13 @@ int main(int argc, char **argv) {
               LatteNoVec.total() / LatteFull.total(),
               LatteBase.total() / LatteFull.total());
 
+  std::printf("\n-- memory: liveness-planned arena vs eager allocation --\n");
+  printMemoryRow("Latte, no tiling/fusion", LatteBase);
+  printMemoryRow("Latte, tiling+fusion", LatteFull);
+  std::printf("(fusion keeps a chain's buffers in one batch loop, so its "
+              "pass-local\n grads stay live together — less folding than "
+              "the unfused point.)\n");
+
   if (BO.profiling()) {
     BenchReport R("fig13", BO);
     R.addRow("caffe", Caffe);

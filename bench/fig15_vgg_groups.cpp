@@ -42,6 +42,7 @@ int main() {
                         Spec.InputDims.str() + ")",
                     Caffe.total(), Latte.total(), PaperShape[G - 1]);
     std::printf("%-28s fused: %s\n", "", Fused.c_str());
+    printMemoryRow("  memory (planned vs eager)", Latte);
   }
   return 0;
 }

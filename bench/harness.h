@@ -45,7 +45,17 @@ namespace bench {
 struct PassTimes {
   double FwdSec = 0.0;
   double BwdSec = 0.0;
+  /// Memory footprint of the run (0 = not measured, e.g. the baselines):
+  /// ArenaBytes is the planned arena size actually allocated, EagerBytes
+  /// what one-buffer-per-root eager allocation would have used.
+  int64_t ArenaBytes = 0;
+  int64_t EagerBytes = 0;
   double total() const { return FwdSec + BwdSec; }
+  double memSavedPct() const {
+    return EagerBytes > 0
+               ? 100.0 * (1.0 - double(ArenaBytes) / double(EagerBytes))
+               : 0.0;
+  }
 };
 
 /// Common CLI surface of the figure binaries:
@@ -174,6 +184,12 @@ public:
     Row.set("fwd_sec", T.FwdSec);
     Row.set("bwd_sec", T.BwdSec);
     Row.set("total_sec", T.total());
+    // Memory columns (rows measured through the Latte executor only; the
+    // baselines allocate per-layer blobs and report nothing here).
+    if (T.EagerBytes > 0) {
+      Row.set("arena_bytes", T.ArenaBytes);
+      Row.set("eager_bytes", T.EagerBytes);
+    }
     Doc.find("rows")->push(std::move(Row));
   }
 
@@ -259,6 +275,11 @@ inline PassTimes timeLatte(const models::ModelSpec &Spec, int64_t Batch,
   EO.Profile = prof::enabled();
   engine::Executor Ex(compiler::compile(Net, Opts), EO);
   Ex.initParams(1);
+  PassTimes T;
+  if (const compiler::MemoryPlan &Plan = Ex.program().Plan; Plan.Valid) {
+    T.ArenaBytes = static_cast<int64_t>(Plan.ArenaBytes);
+    T.EagerBytes = static_cast<int64_t>(Plan.EagerBytes);
+  }
   Tensor In(Spec.InputDims.withPrefix(Batch));
   fillRandom(In, 7);
   Ex.setInput(In);
@@ -267,7 +288,6 @@ inline PassTimes timeLatte(const models::ModelSpec &Spec, int64_t Batch,
     Labels.at(I) = static_cast<float>(I % Spec.NumClasses);
   Ex.setLabels(Labels);
 
-  PassTimes T;
   T.FwdSec = bestWallTime([&] { Ex.forward(); }, Reps);
   T.BwdSec = bestWallTime([&] { Ex.backward(); }, Reps);
   return T;
@@ -306,6 +326,18 @@ inline void printSpeedupRow(const std::string &Label, double BaselineSec,
   std::printf("%-28s %10.1f ms %10.1f ms  speedup %5.2fx   paper: %s\n",
               Label.c_str(), BaselineSec * 1e3, LatteSec * 1e3,
               BaselineSec / LatteSec, PaperNote.c_str());
+}
+
+/// One line of the memory-footprint table: planned arena vs what eager
+/// one-buffer-per-root allocation would have used.
+inline void printMemoryRow(const std::string &Label, const PassTimes &T) {
+  if (T.EagerBytes <= 0) {
+    std::printf("%-44s %12s\n", Label.c_str(), "n/a");
+    return;
+  }
+  std::printf("%-44s %9.1f MB arena %9.1f MB eager  (saved %.1f%%)\n",
+              Label.c_str(), double(T.ArenaBytes) / 1e6,
+              double(T.EagerBytes) / 1e6, T.memSavedPct());
 }
 
 } // namespace bench

@@ -164,16 +164,9 @@ BufferTable::BufferTable(const compiler::Program &TheProg) : Prog(TheProg) {
     FI.Strides = B.Dims.strides();
     FI.Count = B.Dims.numElements();
     FI.Role = B.Role;
-    // Follow the alias chain (bounded — cycles are the verifier's job).
-    const BufferInfo *Cur = &B;
-    size_t Hops = 0;
-    while (!Cur->AliasOf.empty() && Hops++ <= Prog.Buffers.size()) {
-      const BufferInfo *Next = Prog.findBuffer(Cur->AliasOf);
-      if (!Next)
-        break;
-      Cur = Next;
-    }
-    FI.Root = Cur->Name;
+    // Program::resolveAlias is bounded — cycles are the verifier's job.
+    const BufferInfo *Root = Prog.resolveAlias(B.Name);
+    FI.Root = Root ? Root->Name : B.Name;
     Floats.emplace(B.Name, std::move(FI));
   }
   for (const IntBufferInfo &B : Prog.IntBuffers) {

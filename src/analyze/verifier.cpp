@@ -486,6 +486,132 @@ void verifyProgramIR(const Stmt *Root, const std::vector<TaskLabel> &Labels,
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Memory-plan checks
+//===----------------------------------------------------------------------===//
+
+/// Validates the compiler's arena plan against the program it was computed
+/// from: every alias root has a placed lifetime (plan.offset-missing) whose
+/// byte range is aligned (plan.align), inside the arena, and large enough
+/// for the buffer's extent (plan.bounds); no two lifetimes that are live at
+/// the same time share bytes (plan.overlap); and — cross-checked against
+/// analyze::effects — no task unit references a root outside its recorded
+/// live range (plan.lifetime, plan.units).
+void verifyMemoryPlan(const Program &Prog, const BufferTable &Bufs,
+                      DiagnosticReport &R) {
+  const MemoryPlan &Plan = Prog.Plan;
+  if (!Plan.Valid)
+    return; // hand-built programs run eagerly; nothing to check
+  auto CountUnits = [](const Stmt *Root) -> int {
+    if (!Root)
+      return 0;
+    const auto *B = dyn_cast<const BlockStmt>(Root);
+    return B ? static_cast<int>(B->stmts().size()) : 1;
+  };
+  const int NumFwd = CountUnits(Prog.Forward.get());
+  const int NumBwd = CountUnits(Prog.Backward.get());
+  if (Plan.NumForwardUnits != NumFwd || Plan.NumBackwardUnits != NumBwd)
+    R.error("plan.units",
+            "plan unit counts (" + std::to_string(Plan.NumForwardUnits) +
+                "F/" + std::to_string(Plan.NumBackwardUnits) +
+                "B) disagree with the program (" + std::to_string(NumFwd) +
+                "F/" + std::to_string(NumBwd) + "B)");
+
+  // Every root placed, tables consistent, placements in-bounds.
+  for (const BufferInfo &B : Prog.Buffers) {
+    const BufferInfo *Root = Prog.resolveAlias(B.Name);
+    if (!Root)
+      continue; // buffer.alias already reported
+    const BufferLifetime *L = Plan.lifetime(Root->Name);
+    auto It = Plan.Offsets.find(Root->Name);
+    if (!L || It == Plan.Offsets.end()) {
+      R.error("plan.offset-missing",
+              "alias root has no memory-plan entry")
+          .Buffer = Root->Name;
+      continue;
+    }
+    if (L->Offset != It->second)
+      R.error("plan.offset-missing",
+              "lifetime offset " + std::to_string(L->Offset) +
+                  " disagrees with the offset table (" +
+                  std::to_string(It->second) + ")")
+          .Buffer = Root->Name;
+    if (L->Bytes < Root->Dims.numElements() * 4)
+      R.error("plan.bounds",
+              "planned extent (" + std::to_string(L->Bytes) +
+                  " bytes) is smaller than the buffer (" +
+                  std::to_string(Root->Dims.numElements() * 4) + " bytes)")
+          .Buffer = Root->Name;
+  }
+  for (const BufferLifetime &L : Plan.Lifetimes) {
+    if (L.Bytes > 0 && L.Offset % Plan.Alignment != 0)
+      R.error("plan.align",
+              "offset " + std::to_string(L.Offset) +
+                  " is not aligned to " + std::to_string(Plan.Alignment))
+          .Buffer = L.Name;
+    if (L.Offset < 0 || L.Offset + L.Bytes > Plan.ArenaBytes)
+      R.error("plan.bounds",
+              "byte range [" + std::to_string(L.Offset) + ", " +
+                  std::to_string(L.Offset + L.Bytes) +
+                  ") escapes the arena (" + std::to_string(Plan.ArenaBytes) +
+                  " bytes)")
+          .Buffer = L.Name;
+  }
+
+  // No two simultaneously-live roots may share bytes.
+  for (size_t I = 0; I < Plan.Lifetimes.size(); ++I)
+    for (size_t J = I + 1; J < Plan.Lifetimes.size(); ++J) {
+      const BufferLifetime &A = Plan.Lifetimes[I];
+      const BufferLifetime &B = Plan.Lifetimes[J];
+      if (A.overlapsLifetime(B) && A.overlapsBytes(B))
+        R.error("plan.overlap",
+                "'" + A.Name + "' (bytes [" + std::to_string(A.Offset) +
+                    ", " + std::to_string(A.Offset + A.Bytes) +
+                    "), live [" + std::to_string(A.LiveBegin) + ", " +
+                    std::to_string(A.LiveEnd) + "]) collides with '" +
+                    B.Name + "' (bytes [" + std::to_string(B.Offset) + ", " +
+                    std::to_string(B.Offset + B.Bytes) + "), live [" +
+                    std::to_string(B.LiveBegin) + ", " +
+                    std::to_string(B.LiveEnd) + "])")
+            .Buffer = A.Name;
+    }
+
+  // Cross-check against the effect analysis: every reference must fall
+  // inside the root's recorded live range.
+  std::vector<const Stmt *> Units;
+  auto AddUnits = [&Units](const Stmt *Root) {
+    if (!Root)
+      return;
+    if (const auto *B = dyn_cast<const BlockStmt>(Root))
+      for (const StmtPtr &S : B->stmts())
+        Units.push_back(S.get());
+    else
+      Units.push_back(Root);
+  };
+  AddUnits(Prog.Forward.get());
+  AddUnits(Prog.Backward.get());
+  for (size_t U = 0; U < Units.size(); ++U) {
+    UnitEffects UE = collectUnitEffects(Units[U], Bufs, nullptr);
+    for (const auto &[Key, Accesses] : UE.Effects.Buffers) {
+      if (Key.rfind("int:", 0) == 0)
+        continue; // int tables/masks are outside the float plan
+      const BufferLifetime *L = Plan.lifetime(Key);
+      if (!L)
+        continue; // plan.offset-missing already reported
+      int G = static_cast<int>(U);
+      if (G < L->LiveBegin || G > L->LiveEnd) {
+        Diagnostic &D = R.error(
+            "plan.lifetime",
+            "unit " + std::to_string(G) + " references '" + Key +
+                "' outside its recorded live range [" +
+                std::to_string(L->LiveBegin) + ", " +
+                std::to_string(L->LiveEnd) + "]");
+        D.Buffer = Key;
+      }
+    }
+  }
+}
+
 } // namespace
 
 DiagnosticReport analyze::verifyProgram(const Program &Prog,
@@ -502,5 +628,6 @@ DiagnosticReport analyze::verifyProgram(const Program &Prog,
                   Bufs, Opts, R);
   verifyProgramIR(Prog.Backward.get(), Prog.BackwardTasks,
                   /*IsBackward=*/true, Bufs, Opts, R);
+  verifyMemoryPlan(Prog, Bufs, R);
   return R;
 }

@@ -30,6 +30,12 @@
 ///   - every exact effect footprint stays inside its buffer (ir.bounds)
 ///   - parallel loops are race-free modulo the declared §6 lossy
 ///     accumulation (race.* — see analyze/races.h)
+///   - the compiler's arena memory plan, when present: every alias root is
+///     placed (plan.offset-missing) with an aligned (plan.align),
+///     in-bounds, extent-covering byte range (plan.bounds); no two
+///     simultaneously-live roots share bytes (plan.overlap); and — cross-
+///     checked against analyze::effects — no unit references a root
+///     outside its recorded live range (plan.lifetime, plan.units)
 ///
 //===----------------------------------------------------------------------===//
 

@@ -444,10 +444,19 @@ void CppEmitter::header() {
 }
 
 void CppEmitter::buffers() {
-  OS << "// --- buffers (aliases share storage per shared-variable "
-        "analysis) ---\n";
+  if (Prog.Plan.Valid) {
+    // One arena, carved up by the compiler's liveness-driven memory plan;
+    // buffers whose live ranges are disjoint share bytes.
+    OS << "// --- buffer arena (liveness-planned: " << Prog.Plan.ArenaBytes
+       << " bytes vs " << Prog.Plan.EagerBytes << " eager) ---\n";
+    OS << "alignas(" << Prog.Plan.Alignment << ") static float latte_arena["
+       << std::max<int64_t>(Prog.Plan.ArenaBytes / 4, 1) << "];\n";
+  } else {
+    OS << "// --- buffers (aliases share storage per shared-variable "
+          "analysis) ---\n";
+  }
   for (const BufferInfo &B : Prog.Buffers) {
-    if (B.AliasOf.empty())
+    if (!Prog.Plan.Valid && B.AliasOf.empty())
       OS << "static std::vector<float> st_" << B.Name << "; ";
     OS << "static float *" << B.Name << " = nullptr; // "
        << B.Dims.str() << (B.AliasOf.empty() ? "" : " alias of " + B.AliasOf)
@@ -752,23 +761,60 @@ static void k_dropout_mask(float *Mask, int64_t N, float Keep) {
 
 void CppEmitter::initFunction() {
   OS << "static void latte_init() {\n";
+  if (Prog.Plan.Valid) {
+    OS << "  std::memset(latte_arena, 0, sizeof latte_arena);\n";
+    for (const BufferInfo &B : Prog.Buffers) {
+      const BufferInfo *Root = Prog.resolveAlias(B.Name);
+      OS << "  " << B.Name << " = latte_arena + "
+         << Prog.Plan.Offsets.at(Root->Name) / 4 << ";\n";
+    }
+    OS << "}\n\n";
+    return;
+  }
   for (const BufferInfo &B : Prog.Buffers)
     if (B.AliasOf.empty())
       OS << "  st_" << B.Name << ".assign(" << B.Dims.numElements()
          << ", 0.0f);\n";
   // Resolve alias chains to owning storage.
-  for (const BufferInfo &B : Prog.Buffers) {
-    const BufferInfo *Cur = &B;
-    while (!Cur->AliasOf.empty())
-      Cur = Prog.findBuffer(Cur->AliasOf);
-    OS << "  " << B.Name << " = st_" << Cur->Name << ".data();\n";
-  }
+  for (const BufferInfo &B : Prog.Buffers)
+    OS << "  " << B.Name << " = st_" << Prog.resolveAlias(B.Name)->Name
+       << ".data();\n";
   OS << "}\n\n";
 }
 
 void CppEmitter::passFunction(const char *Name, const Stmt *Root,
                               bool ZeroOnForward) {
   OS << "void " << Name << "() {\n";
+  if (Prog.Plan.Valid) {
+    // Pass-top clears cover only pinned/retained roots; interval buffers
+    // are cleared lazily between units (the plan's ZeroBefore schedule),
+    // mirroring engine::Executor::execProgram.
+    const MemoryPlan &Plan = Prog.Plan;
+    const std::vector<std::string> &Tops =
+        ZeroOnForward ? Plan.ZeroOnForwardPinned : Plan.ZeroOnBackwardPinned;
+    for (const std::string &RootName : Tops)
+      OS << "  k_zero(" << RootName << ", "
+         << Prog.findBuffer(RootName)->Dims.numElements() << ");\n";
+    int GlobalBase = ZeroOnForward ? 0 : Plan.NumForwardUnits;
+    const auto *B = dyn_cast_if_present<const BlockStmt>(Root);
+    if (B) {
+      if (!B->label().empty())
+        line(1, "// " + B->label());
+      const std::vector<StmtPtr> &Units = B->stmts();
+      for (size_t I = 0; I < Units.size(); ++I) {
+        auto It = Plan.ZeroBefore.find(GlobalBase + static_cast<int>(I));
+        if (It != Plan.ZeroBefore.end())
+          for (const std::string &RootName : It->second)
+            OS << "  k_zero(" << RootName << ", "
+               << Prog.findBuffer(RootName)->Dims.numElements() << ");\n";
+        emitStmt(Units[I].get(), 1);
+      }
+    } else if (Root) {
+      emitStmt(Root, 1);
+    }
+    OS << "}\n\n";
+    return;
+  }
   for (const BufferInfo &B : Prog.Buffers) {
     bool Zero = ZeroOnForward ? B.ZeroOnForward : B.ZeroOnBackward;
     if (Zero)

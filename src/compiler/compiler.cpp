@@ -3,6 +3,7 @@
 #include "compiler/compiler.h"
 
 #include "analyze/verifier.h"
+#include "compiler/memplan.h"
 #include "compiler/passes.h"
 #include "compiler/synthesis.h"
 #include "ir/printer.h"
@@ -40,6 +41,10 @@ Program compiler::compile(const core::Net &Net, const CompileOptions &Opts) {
     assemblePrograms(std::move(Tasks), Opts, Prog);
   }
   prof::count(prof::Counter::FusionHits, Prog.Report.FusionGroups.size());
+  {
+    prof::ScopedTimer T("memplan");
+    Prog.Plan = planMemory(Prog);
+  }
   if (verifyEachEnabled(Opts)) {
     prof::ScopedTimer T("verify-each");
     analyze::DiagnosticReport R = analyze::verifyProgram(Prog);

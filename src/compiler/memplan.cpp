@@ -1,0 +1,338 @@
+//===- compiler/memplan.cpp -----------------------------------*- C++ -*-===//
+
+#include "compiler/memplan.h"
+
+#include "analyze/effects.h"
+#include "compiler/program.h"
+#include "support/casting.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace latte;
+using namespace latte::compiler;
+
+namespace {
+
+int64_t alignUp(int64_t V, int64_t A) { return (V + A - 1) / A * A; }
+
+/// Working state for one alias root while liveness is collected.
+struct RootState {
+  int64_t Bytes = 0;
+  int FirstRef = -1;
+  int LastRef = -1;
+  int FirstFwdRef = -1;
+  int FirstBwdRef = -1;
+  bool Pinned = false;
+  bool Retained = false;
+  bool ZeroOnForward = false;
+  bool ZeroOnBackward = false;
+  /// First access in timeline order reads without writing / accumulates.
+  bool SeenAccess = false;
+  bool FirstAccessReadOnly = false;
+  bool FirstAccessAccum = false;
+};
+
+/// Aggregates one member buffer's role into the root's classification
+/// (pinned beats retained beats interval).
+void classifyRole(BufferRole Role, RootState &S) {
+  switch (Role) {
+  case BufferRole::Param:
+  case BufferRole::Data:
+    S.Pinned = true;
+    break;
+  case BufferRole::Value:
+  case BufferRole::ParamGrad:
+    // Inspected by solvers, verification and tests after a run; keep the
+    // bytes intact through end-of-run.
+    S.Retained = true;
+    break;
+  case BufferRole::Grad:
+  case BufferRole::GradInput:
+  case BufferRole::Input:
+  case BufferRole::Scratch:
+    break; // interval unless liveness says otherwise
+  }
+}
+
+/// Best-fit placement of one interval against the already-placed buffers
+/// whose live ranges overlap. \p Busy holds the forbidden byte ranges
+/// [Lo, Hi), unsorted. Returns the chosen offset (>= \p Base, aligned).
+int64_t placeBestFit(std::vector<std::pair<int64_t, int64_t>> Busy,
+                     int64_t Need, int64_t Base, int64_t Align) {
+  std::sort(Busy.begin(), Busy.end());
+  // Merge overlapping/adjacent forbidden ranges.
+  std::vector<std::pair<int64_t, int64_t>> Merged;
+  for (const auto &R : Busy) {
+    if (!Merged.empty() && R.first <= Merged.back().second)
+      Merged.back().second = std::max(Merged.back().second, R.second);
+    else
+      Merged.push_back(R);
+  }
+  int64_t BestOff = -1, BestGap = -1;
+  int64_t Cur = Base;
+  for (const auto &R : Merged) {
+    int64_t Start = alignUp(Cur, Align);
+    int64_t Gap = R.first - Start;
+    if (Gap >= Need && (BestGap < 0 || Gap < BestGap)) {
+      BestGap = Gap;
+      BestOff = Start;
+    }
+    Cur = std::max(Cur, R.second);
+  }
+  if (BestOff >= 0)
+    return BestOff;
+  return alignUp(Cur, Align); // tail: grows the arena
+}
+
+} // namespace
+
+bool MemoryPlan::retainedAtExit(const std::string &Root) const {
+  const BufferLifetime *L = lifetime(Root);
+  if (!L)
+    return false;
+  if (L->Pinned || L->Retained)
+    return true;
+  for (const BufferLifetime &O : Lifetimes) {
+    if (&O == L || !L->overlapsBytes(O))
+      continue;
+    if (O.LastRef > L->LastRef || O.Retained || O.Pinned)
+      return false;
+  }
+  return true;
+}
+
+std::string MemoryPlan::str() const {
+  std::ostringstream OS;
+  double Saved =
+      EagerBytes > 0
+          ? 100.0 * (1.0 - static_cast<double>(ArenaBytes) / EagerBytes)
+          : 0.0;
+  OS << "memory plan: arena=" << ArenaBytes << " eager=" << EagerBytes
+     << " saved=" << static_cast<int>(Saved * 10) / 10.0
+     << "% align=" << Alignment << "\n";
+  OS << "units: forward=" << NumForwardUnits
+     << " backward=" << NumBackwardUnits << "\n";
+  for (const BufferLifetime &L : Lifetimes) {
+    OS << "  " << L.Name << " offset=" << L.Offset << " bytes=" << L.Bytes
+       << " live=[" << L.LiveBegin << "," << L.LiveEnd << "]"
+       << " refs=[" << L.FirstRef << "," << L.LastRef << "] "
+       << (L.Pinned ? "pinned" : L.Retained ? "retained" : "interval")
+       << "\n";
+  }
+  for (const auto &[Unit, Names] : ZeroBefore) {
+    OS << "zero-before unit " << Unit << ":";
+    for (const std::string &N : Names)
+      OS << " " << N;
+    OS << "\n";
+  }
+  auto DumpPassTop = [&OS](const char *Which,
+                           const std::vector<std::string> &Names) {
+    if (Names.empty())
+      return;
+    OS << "zero-" << Which << "-top:";
+    for (const std::string &N : Names)
+      OS << " " << N;
+    OS << "\n";
+  };
+  DumpPassTop("forward", ZeroOnForwardPinned);
+  DumpPassTop("backward", ZeroOnBackwardPinned);
+  return OS.str();
+}
+
+MemoryPlan compiler::planMemory(const Program &Prog) {
+  MemoryPlan Plan;
+  Plan.Valid = true;
+
+  // --- gather alias roots in declaration order ---------------------------
+  std::vector<std::string> RootOrder;
+  std::map<std::string, RootState> Roots;
+  for (const BufferInfo &B : Prog.Buffers) {
+    const BufferInfo *Root = Prog.resolveAlias(B.Name);
+    if (!Root)
+      continue; // dangling alias chain: the verifier reports it
+    auto It = Roots.find(Root->Name);
+    if (It == Roots.end()) {
+      RootOrder.push_back(Root->Name);
+      It = Roots.emplace(Root->Name, RootState{}).first;
+    }
+    RootState &S = It->second;
+    S.Bytes = std::max(
+        S.Bytes, static_cast<int64_t>(B.Dims.numElements()) * 4);
+    S.ZeroOnForward |= B.ZeroOnForward;
+    S.ZeroOnBackward |= B.ZeroOnBackward;
+    classifyRole(B.Role, S);
+  }
+  // The well-known IO buffers are the program's external interface; pin
+  // them regardless of role.
+  for (const std::string *Name :
+       {&Prog.DataBuffer, &Prog.LabelBuffer, &Prog.LossBuffer,
+        &Prog.ProbBuffer}) {
+    if (Name->empty())
+      continue;
+    if (const BufferInfo *Root = Prog.resolveAlias(*Name)) {
+      auto It = Roots.find(Root->Name);
+      if (It != Roots.end())
+        It->second.Pinned = true;
+    }
+  }
+
+  // --- liveness over the global unit timeline ----------------------------
+  std::vector<const ir::Stmt *> Units;
+  auto addUnits = [&Units](const ir::Stmt *Root, int &CountOut) {
+    size_t Before = Units.size();
+    if (Root) {
+      if (const auto *B = dyn_cast<ir::BlockStmt>(Root))
+        for (const ir::StmtPtr &S : B->stmts())
+          Units.push_back(S.get());
+      else
+        Units.push_back(Root);
+    }
+    CountOut = static_cast<int>(Units.size() - Before);
+  };
+  addUnits(Prog.Forward.get(), Plan.NumForwardUnits);
+  addUnits(Prog.Backward.get(), Plan.NumBackwardUnits);
+  const int NumFwd = Plan.NumForwardUnits;
+  const int TotalUnits = static_cast<int>(Units.size());
+
+  analyze::BufferTable Bufs(Prog);
+  for (int U = 0; U < TotalUnits; ++U) {
+    analyze::UnitEffects UE =
+        analyze::collectUnitEffects(Units[U], Bufs, /*Diags=*/nullptr);
+    for (const auto &[Key, Accesses] : UE.Effects.Buffers) {
+      if (Key.rfind("int:", 0) == 0)
+        continue; // int index/mask buffers are not float-planned
+      auto It = Roots.find(Key);
+      if (It == Roots.end())
+        continue; // unknown buffer: the verifier reports it
+      RootState &S = It->second;
+      if (S.FirstRef < 0)
+        S.FirstRef = U;
+      S.LastRef = U;
+      if (U < NumFwd) {
+        if (S.FirstFwdRef < 0)
+          S.FirstFwdRef = U;
+      } else if (S.FirstBwdRef < 0) {
+        S.FirstBwdRef = U;
+      }
+      if (!S.SeenAccess && !Accesses.empty()) {
+        S.SeenAccess = true;
+        const analyze::Access &A = Accesses.front();
+        S.FirstAccessReadOnly = A.Read && !A.Write;
+        S.FirstAccessAccum = A.Accumulating;
+      }
+    }
+  }
+
+  // --- classification fixups ---------------------------------------------
+  for (const std::string &Name : RootOrder) {
+    RootState &S = Roots[Name];
+    bool HasZero = S.ZeroOnForward || S.ZeroOnBackward;
+    // Never referenced by any task: only reachable through readBuffer /
+    // writeBuffer, so no live range exists to reason about — keep the
+    // bytes exclusive.
+    if (S.FirstRef < 0)
+      S.Pinned = true;
+    // Referenced in both passes: retain so repeated forward()/backward()
+    // calls replay against intact bytes.
+    if (S.FirstFwdRef >= 0 && S.FirstBwdRef >= 0)
+      S.Retained = true;
+    // State carriers: the first access consumes bytes no task of this run
+    // produced and no scheduled clear covers.
+    if ((S.FirstAccessReadOnly || S.FirstAccessAccum) && !HasZero)
+      S.Pinned = true;
+    // A backward-cleared root never referenced in backward would lose its
+    // top-of-backward clear under lazy scheduling; keep classic clears.
+    if (S.ZeroOnBackward && S.FirstBwdRef < 0 && !S.Pinned)
+      S.Retained = true;
+  }
+
+  // --- build lifetimes ----------------------------------------------------
+  for (const std::string &Name : RootOrder) {
+    const RootState &S = Roots[Name];
+    BufferLifetime L;
+    L.Name = Name;
+    L.Bytes = S.Bytes;
+    L.FirstRef = S.FirstRef;
+    L.LastRef = S.LastRef;
+    L.Pinned = S.Pinned;
+    L.Retained = !S.Pinned && S.Retained;
+    if (L.Pinned || L.Retained) {
+      // Retained buffers also span the whole timeline for ALLOCATION (not
+      // just [FirstRef, end]): passes replay — a finite-difference loop
+      // re-runs forward() after backward() wrote the parameter gradients,
+      // so bytes "free before FirstRef" would be rewritten by the replayed
+      // pass and corrupt the retained contents.
+      L.LiveBegin = 0;
+      L.LiveEnd = TotalUnits; // sentinel past the last unit: end-of-run
+    } else {
+      L.LiveBegin = S.FirstRef;
+      L.LiveEnd = S.LastRef;
+    }
+    Plan.Lifetimes.push_back(std::move(L));
+    Plan.EagerBytes += S.Bytes;
+  }
+
+  // --- zero scheduling ----------------------------------------------------
+  for (const std::string &Name : RootOrder) {
+    const RootState &S = Roots[Name];
+    bool PassTop = S.Pinned || S.Retained;
+    if (S.ZeroOnForward) {
+      if (PassTop)
+        Plan.ZeroOnForwardPinned.push_back(Name);
+      else
+        Plan.ZeroBefore[S.FirstRef].push_back(Name);
+    }
+    if (S.ZeroOnBackward) {
+      if (PassTop)
+        Plan.ZeroOnBackwardPinned.push_back(Name);
+      else if (!S.ZeroOnForward) // both-flag roots were scheduled above
+        Plan.ZeroBefore[S.FirstRef].push_back(Name);
+    }
+  }
+
+  // --- arena assignment ----------------------------------------------------
+  // Pinned roots pack first, in declaration order.
+  int64_t Cursor = 0;
+  for (BufferLifetime &L : Plan.Lifetimes) {
+    if (!L.Pinned)
+      continue;
+    L.Offset = Cursor;
+    Cursor += alignUp(L.Bytes, Plan.Alignment);
+  }
+  const int64_t PinnedEnd = Cursor;
+  int64_t ArenaEnd = PinnedEnd;
+
+  // Non-pinned roots by decreasing size (name-ordered ties) — the classic
+  // greedy-by-size interval packing.
+  std::vector<BufferLifetime *> Order;
+  for (BufferLifetime &L : Plan.Lifetimes)
+    if (!L.Pinned)
+      Order.push_back(&L);
+  std::sort(Order.begin(), Order.end(),
+            [](const BufferLifetime *A, const BufferLifetime *B) {
+              if (A->Bytes != B->Bytes)
+                return A->Bytes > B->Bytes;
+              return A->Name < B->Name;
+            });
+  std::vector<const BufferLifetime *> Placed;
+  for (BufferLifetime *L : Order) {
+    if (L->Bytes == 0) {
+      L->Offset = 0; // inert: overlapsBytes() never triggers on zero size
+      continue;
+    }
+    std::vector<std::pair<int64_t, int64_t>> Busy;
+    for (const BufferLifetime *P : Placed)
+      if (L->overlapsLifetime(*P))
+        Busy.emplace_back(P->Offset, P->Offset + P->Bytes);
+    L->Offset = placeBestFit(std::move(Busy), L->Bytes, PinnedEnd,
+                             Plan.Alignment);
+    ArenaEnd = std::max(ArenaEnd, L->Offset + L->Bytes);
+    Placed.push_back(L);
+  }
+  Plan.ArenaBytes = alignUp(ArenaEnd, Plan.Alignment);
+
+  for (const BufferLifetime &L : Plan.Lifetimes)
+    Plan.Offsets[L.Name] = L.Offset;
+  return Plan;
+}

@@ -158,16 +158,6 @@ void Assembler::flushGroup(std::vector<StmtPtr> &Units, BatchGroup &Group,
   std::vector<PlannedTask> Tasks = std::move(Group.Tasks);
   Group.Tasks.clear();
 
-  std::vector<std::string> GroupEnsembles;
-  std::string GroupName = "batch[";
-  for (size_t I = 0; I < Tasks.size(); ++I) {
-    if (I)
-      GroupName += '+';
-    GroupName += Tasks[I].Task.EnsembleName;
-    GroupEnsembles.push_back(Tasks[I].Task.EnsembleName);
-  }
-  GroupName += ']';
-
   // Cross-layer fusion (§5.4.2): partition the group into chains. A task
   // joins the current chain when it consumes the chain's last ensemble
   // (either direction), carries a positive dependence distance, and both
@@ -208,9 +198,29 @@ void Assembler::flushGroup(std::vector<StmtPtr> &Units, BatchGroup &Group,
       Chains.push_back({I});
   }
 
-  // Materialize chains into the batch-loop body.
-  std::vector<StmtPtr> Body;
+  // Materialize each chain into its own batch loop (loop fission). One loop
+  // per chain — rather than one loop for the whole group — is what makes
+  // the memory planner's unit-granularity liveness useful: a fused group is
+  // a single timeline unit, so every pass-local buffer inside it conflicts
+  // with every other and the arena cannot fold any of them. Fission is
+  // semantics-preserving: for every item n, a chain still runs after the
+  // chains that feed it (all of a producer chain's items complete before
+  // the consumer chain starts), and each buffer's writes still occur in
+  // ascending item order, so per-buffer accumulation order is unchanged.
+  // Locality is unaffected where it matters — fusion chains stay intact
+  // inside one loop; only independent chains are split apart.
   for (const std::vector<size_t> &Chain : Chains) {
+    std::vector<StmtPtr> Body;
+    std::vector<std::string> ChainEnsembles;
+    std::string ChainName = "batch[";
+    for (size_t J : Chain) {
+      if (J != Chain.front())
+        ChainName += '+';
+      ChainName += Tasks[J].Task.EnsembleName;
+      ChainEnsembles.push_back(Tasks[J].Task.EnsembleName);
+    }
+    ChainName += ']';
+
     bool AnyTiled = false;
     for (size_t J : Chain)
       AnyTiled |= Tasks[J].Tiled;
@@ -218,52 +228,53 @@ void Assembler::flushGroup(std::vector<StmtPtr> &Units, BatchGroup &Group,
       for (size_t J : Chain)
         for (const RowOp &Op : Tasks[J].Task.PerItem)
           Body.push_back(Op.makeWhole());
-      continue;
-    }
-    std::string TileVar = "t" + std::to_string(TileVarCounter++);
-    std::vector<StmtPtr> TiledBody, Trailing;
-    int64_t NumTiles = 0, TileSize = 0, Dist = 1;
-    for (size_t J : Chain) {
-      materializeTask(Tasks[J], TileVar, TiledBody, Trailing);
-      if (Tasks[J].Tiled) {
-        NumTiles = Tasks[J].NumTiles;
-        TileSize = Tasks[J].TileSize;
-        if (Tasks[J].Task.FuseDist > 0)
-          Dist = Tasks[J].Task.FuseDist;
+    } else {
+      std::string TileVar = "t" + std::to_string(TileVarCounter++);
+      std::vector<StmtPtr> TiledBody, Trailing;
+      int64_t NumTiles = 0, TileSize = 0, Dist = 1;
+      for (size_t J : Chain) {
+        materializeTask(Tasks[J], TileVar, TiledBody, Trailing);
+        if (Tasks[J].Tiled) {
+          NumTiles = Tasks[J].NumTiles;
+          TileSize = Tasks[J].TileSize;
+          if (Tasks[J].Task.FuseDist > 0)
+            Dist = Tasks[J].Task.FuseDist;
+        }
+      }
+      assert(NumTiles > 0 && "tiled chain must produce a tile count");
+      auto Loop = std::make_unique<TiledLoopStmt>(
+          TileVar, "y", NumTiles, TileSize, Dist,
+          block(std::move(TiledBody)));
+      ++Prog.Report.NumTiledLoops;
+      Body.push_back(std::move(Loop));
+      for (StmtPtr &S : Trailing)
+        Body.push_back(std::move(S));
+
+      if (ReportFusion && Chain.size() >= 2) {
+        std::vector<std::string> Names;
+        for (size_t J : Chain)
+          Names.push_back(Tasks[J].Task.EnsembleName);
+        Prog.Report.FusionGroups.push_back(std::move(Names));
       }
     }
-    assert(NumTiles > 0 && "tiled chain must produce a tile count");
-    auto Loop = std::make_unique<TiledLoopStmt>(
-        TileVar, "y", NumTiles, TileSize, Dist,
-        block(std::move(TiledBody)));
-    ++Prog.Report.NumTiledLoops;
-    Body.push_back(std::move(Loop));
-    for (StmtPtr &S : Trailing)
-      Body.push_back(std::move(S));
 
-    if (ReportFusion && Chain.size() >= 2) {
-      std::vector<std::string> Names;
-      for (size_t J : Chain)
-        Names.push_back(Tasks[J].Task.EnsembleName);
-      Prog.Report.FusionGroups.push_back(std::move(Names));
+    // The batch loop itself (§5.4.3): data-parallel across items; collapsed
+    // with the tile loop when the body is a single tiled loop.
+    auto BatchLoop = std::make_unique<ForStmt>(
+        "n", intConst(0), Prog.BatchSize, block(std::move(Body)));
+    if (Opts.Parallelize) {
+      BatchLoop->annotations().Parallel = true;
+      auto *BodyBlock = cast<BlockStmt>(BatchLoop->body());
+      if (BodyBlock->stmts().size() == 1)
+        if (auto *TL =
+                dyn_cast<TiledLoopStmt>(BodyBlock->stmts()[0].get())) {
+          BatchLoop->annotations().Collapse = 2;
+          TL->annotations().Parallel = true;
+        }
     }
+    pushUnit(Units, std::move(BatchLoop), std::move(ChainName),
+             std::move(ChainEnsembles));
   }
-
-  // The batch loop itself (§5.4.3): data-parallel across items; collapsed
-  // with the tile loop when the body is a single tiled loop.
-  auto BatchLoop = std::make_unique<ForStmt>(
-      "n", intConst(0), Prog.BatchSize, block(std::move(Body)));
-  if (Opts.Parallelize) {
-    BatchLoop->annotations().Parallel = true;
-    auto *BodyBlock = cast<BlockStmt>(BatchLoop->body());
-    if (BodyBlock->stmts().size() == 1)
-      if (auto *TL = dyn_cast<TiledLoopStmt>(BodyBlock->stmts()[0].get())) {
-        BatchLoop->annotations().Collapse = 2;
-        TL->annotations().Parallel = true;
-      }
-  }
-  pushUnit(Units, std::move(BatchLoop), std::move(GroupName),
-           std::move(GroupEnsembles));
 }
 
 } // namespace

@@ -11,6 +11,7 @@
 #ifndef LATTE_COMPILER_PROGRAM_H
 #define LATTE_COMPILER_PROGRAM_H
 
+#include "compiler/memplan.h"
 #include "core/graph.h"
 #include "ir/stmt.h"
 #include "support/shape.h"
@@ -122,6 +123,11 @@ struct Program {
 
   CompileReport Report;
 
+  /// Arena layout computed by planMemory() at the end of compile().
+  /// Plan.Valid is false on hand-built programs; the engine and codegen
+  /// then allocate eagerly per buffer.
+  MemoryPlan Plan;
+
   const BufferInfo *findBuffer(const std::string &Name) const {
     for (const BufferInfo &B : Buffers)
       if (B.Name == Name)
@@ -133,6 +139,22 @@ struct Program {
       if (B.Name == Name)
         return &B;
     return nullptr;
+  }
+  /// Follows \p Name's AliasOf chain to the storage-owning root buffer.
+  /// Returns nullptr when \p Name is unknown; a dangling or cyclic chain
+  /// (the verifier's buffer.alias diagnostics) stops at the last
+  /// resolvable link. The single home of alias semantics — the engine,
+  /// the code generator, and the analyses all resolve through here.
+  const BufferInfo *resolveAlias(const std::string &Name) const {
+    const BufferInfo *Cur = findBuffer(Name);
+    size_t Hops = 0;
+    while (Cur && !Cur->AliasOf.empty() && Hops++ <= Buffers.size()) {
+      const BufferInfo *Next = findBuffer(Cur->AliasOf);
+      if (!Next)
+        break;
+      Cur = Next;
+    }
+    return Cur;
   }
 };
 

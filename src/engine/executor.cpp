@@ -54,14 +54,34 @@ struct Executor::Env : EnvImpl {
 Executor::Executor(Program TheProg, ExecOptions Opts)
     : Prog(std::move(TheProg)), Opts(Opts),
       DropoutRng(Opts.Seed ^ 0xd20b0a7) {
-  // Allocate owning storage first, then resolve alias chains.
-  Storage.reserve(Prog.Buffers.size());
+  // Storage: either one aligned arena carved up by the compiler's memory
+  // plan, or (eager mode) one private region per alias root.
+  PlanActive = !Opts.NoMemPlan && Prog.Plan.Valid;
   std::unordered_map<std::string, size_t> OwnerIndex;
-  for (const BufferInfo &B : Prog.Buffers) {
-    if (!B.AliasOf.empty())
-      continue;
-    OwnerIndex[B.Name] = Storage.size();
-    Storage.emplace_back(B.Dims);
+  if (PlanActive) {
+    // Over-allocate by one alignment quantum and align the base by hand.
+    Arena.assign(static_cast<size_t>(Prog.Plan.ArenaBytes / 4 +
+                                     Prog.Plan.Alignment / 4),
+                 0.0f);
+    uintptr_t Raw = reinterpret_cast<uintptr_t>(Arena.data());
+    uintptr_t Mask = static_cast<uintptr_t>(Prog.Plan.Alignment) - 1;
+    ArenaBase = reinterpret_cast<float *>((Raw + Mask) & ~Mask);
+    if (prof::enabled()) {
+      prof::count(prof::Counter::ArenaBytes, Prog.Plan.ArenaBytes);
+      prof::count(prof::Counter::EagerBytes, Prog.Plan.EagerBytes);
+    }
+  } else {
+    Storage.reserve(Prog.Buffers.size());
+    int64_t EagerBytes = 0;
+    for (const BufferInfo &B : Prog.Buffers) {
+      if (!B.AliasOf.empty())
+        continue;
+      OwnerIndex[B.Name] = Storage.size();
+      Storage.emplace_back(B.Dims);
+      EagerBytes += B.Dims.numElements() * 4;
+    }
+    if (prof::enabled())
+      prof::count(prof::Counter::EagerBytes, EagerBytes);
   }
   for (const BufferInfo &B : Prog.Buffers) {
     BufferRT RT;
@@ -70,19 +90,24 @@ Executor::Executor(Program TheProg, ExecOptions Opts)
     RT.Count = B.Dims.numElements();
     RT.ZeroOnForward = B.ZeroOnForward;
     RT.ZeroOnBackward = B.ZeroOnBackward;
-    // Follow the alias chain to the owning buffer.
-    const BufferInfo *Cur = &B;
-    while (!Cur->AliasOf.empty()) {
-      const BufferInfo *Next = Prog.findBuffer(Cur->AliasOf);
-      if (!Next)
-        reportFatalError("buffer '" + Cur->Name + "' aliases unknown '" +
-                         Cur->AliasOf + "'");
-      Cur = Next;
-    }
-    if (Cur->Dims.numElements() != RT.Count)
+    const BufferInfo *Root = Prog.resolveAlias(B.Name);
+    if (!Root)
+      reportFatalError("buffer '" + B.Name + "' has no resolvable storage");
+    if (!Root->AliasOf.empty())
+      reportFatalError("buffer '" + B.Name + "' aliases unknown '" +
+                       Root->AliasOf + "'");
+    if (Root->Dims.numElements() != RT.Count)
       reportFatalError("alias '" + B.Name + "' does not match the size of '" +
-                       Cur->Name + "'");
-    RT.Data = Storage[OwnerIndex.at(Cur->Name)].data();
+                       Root->Name + "'");
+    if (PlanActive) {
+      auto It = Prog.Plan.Offsets.find(Root->Name);
+      if (It == Prog.Plan.Offsets.end())
+        reportFatalError("memory plan has no offset for root '" +
+                         Root->Name + "'");
+      RT.Data = ArenaBase + It->second / 4;
+    } else {
+      RT.Data = Storage[OwnerIndex.at(Root->Name)].data();
+    }
     Buffers[B.Name] = std::move(RT);
   }
   for (const IntBufferInfo &B : Prog.IntBuffers) {
@@ -200,26 +225,45 @@ void Executor::forward() {
   // differencing and cross-variant comparisons rely on this).
   if (Opts.Deterministic)
     DropoutRng = Rng(Opts.Seed ^ 0xd20b0a7);
-  for (const BufferInfo &B : Prog.Buffers)
-    if (B.ZeroOnForward)
-      kernels::zero(buffer(B.Name).Data, buffer(B.Name).Count);
+  if (PlanActive) {
+    // Arena mode: only pinned/retained clears happen at pass top; interval
+    // buffers are cleared lazily by execProgram (the plan's ZeroBefore
+    // schedule) so the clear does not extend their live range.
+    for (const std::string &Root : Prog.Plan.ZeroOnForwardPinned)
+      kernels::zero(buffer(Root).Data, buffer(Root).Count);
+  } else {
+    for (const BufferInfo &B : Prog.Buffers)
+      if (B.ZeroOnForward)
+        kernels::zero(buffer(B.Name).Data, buffer(B.Name).Count);
+  }
   Env E;
   E.AllowParallel = Opts.Parallel;
   if (Opts.Profile && prof::enabled()) {
     prof::ScopedPhase Phase("forward");
     prof::ScopedTimer Whole("forward");
     ProfActive = true;
-    execProgramProfiled(Prog.Forward.get(), Prog.ForwardTasks, E);
+    execProgram(Prog.Forward.get(), Prog.ForwardTasks, E, /*Profiled=*/true,
+                /*GlobalBase=*/0);
     ProfActive = false;
+    return;
+  }
+  if (PlanActive) {
+    execProgram(Prog.Forward.get(), Prog.ForwardTasks, E, /*Profiled=*/false,
+                /*GlobalBase=*/0);
     return;
   }
   execStmt(Prog.Forward.get(), E);
 }
 
 void Executor::backward() {
-  for (const BufferInfo &B : Prog.Buffers)
-    if (B.ZeroOnBackward)
-      kernels::zero(buffer(B.Name).Data, buffer(B.Name).Count);
+  if (PlanActive) {
+    for (const std::string &Root : Prog.Plan.ZeroOnBackwardPinned)
+      kernels::zero(buffer(Root).Data, buffer(Root).Count);
+  } else {
+    for (const BufferInfo &B : Prog.Buffers)
+      if (B.ZeroOnBackward)
+        kernels::zero(buffer(B.Name).Data, buffer(B.Name).Count);
+  }
   // Seed the loss gradient path: SoftmaxLossBwd reads probabilities
   // directly, so nothing to do here beyond zeroing.
   Env E;
@@ -228,12 +272,19 @@ void Executor::backward() {
   // serially, and deterministic mode always does.
   E.AllowParallel =
       Opts.Parallel && Opts.LossyGradients && !Opts.Deterministic;
+  const int Base = Prog.Plan.NumForwardUnits;
   if (Opts.Profile && prof::enabled()) {
     prof::ScopedPhase Phase("backward");
     prof::ScopedTimer Whole("backward");
     ProfActive = true;
-    execProgramProfiled(Prog.Backward.get(), Prog.BackwardTasks, E);
+    execProgram(Prog.Backward.get(), Prog.BackwardTasks, E,
+                /*Profiled=*/true, /*GlobalBase=*/Base);
     ProfActive = false;
+    return;
+  }
+  if (PlanActive) {
+    execProgram(Prog.Backward.get(), Prog.BackwardTasks, E,
+                /*Profiled=*/false, /*GlobalBase=*/Base);
     return;
   }
   execStmt(Prog.Backward.get(), E);
@@ -536,16 +587,32 @@ void Executor::execStmt(const Stmt *S, Env &E) {
   latteUnreachable("unknown statement kind");
 }
 
-void Executor::execProgramProfiled(
-    const Stmt *Root, const std::vector<compiler::TaskLabel> &Labels,
-    Env &E) {
+void Executor::execProgram(const Stmt *Root,
+                           const std::vector<compiler::TaskLabel> &Labels,
+                           Env &E, bool Profiled, int GlobalBase) {
   const auto *B = dyn_cast_if_present<const BlockStmt>(Root);
   if (!B) {
-    execStmt(Root, E);
+    if (Root)
+      execStmt(Root, E);
     return;
   }
   const std::vector<StmtPtr> &Stmts = B->stmts();
   for (size_t I = 0; I < Stmts.size(); ++I) {
+    if (PlanActive) {
+      // Lazy zeroing: interval-allocated ZeroOn* roots are cleared right
+      // before their first referencing unit. Any buffer previously sharing
+      // these bytes is already past its last use.
+      auto It = Prog.Plan.ZeroBefore.find(GlobalBase + static_cast<int>(I));
+      if (It != Prog.Plan.ZeroBefore.end())
+        for (const std::string &Name : It->second) {
+          BufferRT &RT = buffer(Name);
+          kernels::zero(RT.Data, RT.Count);
+        }
+    }
+    if (!Profiled) {
+      execStmt(Stmts[I].get(), E);
+      continue;
+    }
     // Hand-built programs (engine tests) carry no labels; fall back to the
     // unit index.
     std::string Name = I < Labels.size() && !Labels[I].Name.empty()

@@ -51,6 +51,13 @@ struct ExecOptions {
   /// path and produces bitwise-identical results at unmeasurable extra
   /// cost. Enable together with prof::Profiler::setEnabled(true).
   bool Profile = false;
+  /// Ignore the compiler's MemoryPlan and allocate every buffer eagerly
+  /// (one private storage region per alias root), exactly as before the
+  /// planner existed. The differential baseline for the memory planner:
+  /// every buffer stays readable after a run. Verification tooling
+  /// (verify::runLattice) sets this — it inspects interval-allocated
+  /// gradients whose bytes the plan legitimately reuses.
+  bool NoMemPlan = false;
   uint64_t Seed = 0x5eed;
 };
 
@@ -121,11 +128,14 @@ private:
 
   void execStmt(const ir::Stmt *S, Env &E);
   void execKernel(const ir::KernelCallStmt *K, Env &E);
-  /// Profiling path: executes the top-level block one task at a time, each
-  /// under a ScopedTimer named by the compiler's TaskLabels.
-  void execProgramProfiled(const ir::Stmt *Root,
-                           const std::vector<compiler::TaskLabel> &Labels,
-                           Env &E);
+  /// Unit-at-a-time driver for the top-level block: interleaves the memory
+  /// plan's lazy zero schedule between units (arena mode) and, when
+  /// \p Profiled, wraps each unit in a ScopedTimer named by the compiler's
+  /// TaskLabels. \p GlobalBase maps local unit indices onto the plan's
+  /// global timeline (0 for forward, NumForwardUnits for backward).
+  void execProgram(const ir::Stmt *Root,
+                   const std::vector<compiler::TaskLabel> &Labels, Env &E,
+                   bool Profiled, int GlobalBase);
   /// Attributes one kernel call to the profiler's counters.
   void profileKernel(const ir::KernelCallStmt *K) const;
   float evalFloat(const ir::Expr *Ex, Env &E) const;
@@ -140,7 +150,12 @@ private:
   /// True only while a profiled forward/backward is in flight (gates the
   /// per-kernel counter hooks so the default path pays nothing).
   bool ProfActive = false;
-  std::vector<Tensor> Storage; ///< owning storage (non-alias buffers)
+  /// True when buffers are views into Arena (a valid plan and the option
+  /// allows it); false = eager per-root Storage.
+  bool PlanActive = false;
+  std::vector<float> Arena;    ///< owning storage (arena mode)
+  float *ArenaBase = nullptr;  ///< 64-byte-aligned base inside Arena
+  std::vector<Tensor> Storage; ///< owning storage (eager mode)
   std::unordered_map<std::string, BufferRT> Buffers;
   std::unordered_map<std::string, std::vector<int32_t>> IntBuffers;
   Rng DropoutRng;

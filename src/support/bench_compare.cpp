@@ -66,6 +66,25 @@ CompareResult bench::compareBenchJson(const json::Value &Old,
       else if (D.NewSec < D.OldSec / Threshold && -Delta > MinDeltaSec)
         R.Improvements.push_back(D);
     }
+    // Memory gate: the planned arena size is deterministic (no noise
+    // floor), so any growth beyond MemThreshold is a real planner
+    // regression. 5% slack absorbs alignment-padding shifts when buffer
+    // sets change shape slightly.
+    static const double MemThreshold = 1.05;
+    const json::Value *OldMem = OldRow.find("arena_bytes");
+    const json::Value *NewMem = NewRow->find("arena_bytes");
+    if (OldMem && NewMem && OldMem->isNumber() && NewMem->isNumber()) {
+      MetricDelta D;
+      D.Label = Label;
+      D.Metric = "arena_bytes";
+      D.OldSec = OldMem->asNumber();
+      D.NewSec = NewMem->asNumber();
+      R.Compared.push_back(D);
+      if (D.OldSec > 0 && D.NewSec > D.OldSec * MemThreshold)
+        R.Regressions.push_back(D);
+      else if (D.OldSec > 0 && D.NewSec < D.OldSec / MemThreshold)
+        R.Improvements.push_back(D);
+    }
   }
 
   // Rows only in the new file are informational too.
@@ -84,10 +103,16 @@ std::string bench::formatCompareReport(const CompareResult &R,
   std::string Out;
   char Buf[256];
   auto Line = [&](const MetricDelta &D, const char *Tag) {
-    std::snprintf(Buf, sizeof(Buf),
-                  "  %-10s %-28s %-9s %10.3f ms -> %10.3f ms  (%.2fx)\n",
-                  Tag, D.Label.c_str(), D.Metric.c_str(), D.OldSec * 1e3,
-                  D.NewSec * 1e3, D.ratio());
+    if (D.Metric == "arena_bytes")
+      std::snprintf(Buf, sizeof(Buf),
+                    "  %-10s %-28s %-11s %9.1f MB -> %9.1f MB  (%.2fx)\n",
+                    Tag, D.Label.c_str(), D.Metric.c_str(), D.OldSec / 1e6,
+                    D.NewSec / 1e6, D.ratio());
+    else
+      std::snprintf(Buf, sizeof(Buf),
+                    "  %-10s %-28s %-9s %10.3f ms -> %10.3f ms  (%.2fx)\n",
+                    Tag, D.Label.c_str(), D.Metric.c_str(), D.OldSec * 1e3,
+                    D.NewSec * 1e3, D.ratio());
     Out += Buf;
   };
   std::snprintf(Buf, sizeof(Buf),

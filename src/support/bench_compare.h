@@ -21,10 +21,11 @@
 namespace latte {
 namespace bench {
 
-/// One compared metric (a row label + which of fwd/bwd/total).
+/// One compared metric (a row label + which of fwd/bwd/total/arena).
 struct MetricDelta {
   std::string Label;
-  std::string Metric;  ///< "fwd_sec", "bwd_sec", or "total_sec"
+  std::string Metric;  ///< "fwd_sec", "bwd_sec", "total_sec", or
+                       ///< "arena_bytes" (OldSec/NewSec then hold bytes)
   double OldSec = 0;
   double NewSec = 0;
   double ratio() const { return OldSec > 0 ? NewSec / OldSec : 0; }
@@ -43,7 +44,10 @@ struct CompareResult {
 /// is regressed when `new > old * Threshold` and the absolute delta
 /// exceeds \p MinDeltaSec (guards against flagging microsecond noise).
 /// Rows present in only one file are reported in Notes, not failed —
-/// benchmarks gain rows over time.
+/// benchmarks gain rows over time. When both rows carry an "arena_bytes"
+/// memory column it is gated too, at a fixed 1.05x ratio (the planned
+/// arena is deterministic, so growth past alignment slack is a real
+/// planner regression, independent of the timing threshold).
 CompareResult compareBenchJson(const json::Value &Old,
                                const json::Value &New, double Threshold,
                                double MinDeltaSec = 1e-4);

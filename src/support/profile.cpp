@@ -23,6 +23,10 @@ const char *prof::counterName(Counter C) {
     return "fusion_hits";
   case Counter::KernelCalls:
     return "kernel_calls";
+  case Counter::ArenaBytes:
+    return "arena_bytes";
+  case Counter::EagerBytes:
+    return "eager_bytes";
   }
   return "unknown";
 }

@@ -41,8 +41,10 @@ enum class Counter : int {
   GemmCalls,     ///< sgemm library-kernel invocations
   FusionHits,    ///< fusion groups formed at compile time
   KernelCalls,   ///< total library-kernel invocations
+  ArenaBytes,    ///< planned arena footprint of constructed executors
+  EagerBytes,    ///< eager (per-root) footprint of the same programs
 };
-constexpr int NumCounters = 6;
+constexpr int NumCounters = 8;
 
 /// Printable snake_case name ("flops", "bytes_moved", ...).
 const char *counterName(Counter C);

@@ -42,6 +42,12 @@ ExecOptions execOptionsFor(const CompileOptions &Opts, uint64_t EngineSeed) {
   E.Parallel = Opts.Parallelize;
   E.LossyGradients = false;
   E.Deterministic = true;
+  // The oracle inspects every Value/Grad/ParamGrad buffer after the run;
+  // interval-allocated gradients' bytes are legitimately reused under the
+  // memory plan, so verification keeps the eager per-buffer layout (full
+  // observability). The plan itself is proven equivalent by the dedicated
+  // planned-vs-eager differential suite.
+  E.NoMemPlan = true;
   E.Seed = EngineSeed;
   return E;
 }

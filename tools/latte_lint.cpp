@@ -10,7 +10,8 @@
 ///
 /// The --corrupt mode injects one of the hand-corruption fixtures the
 /// verifier tests key on (shape-mismatch, use-before-def, dropped-barrier,
-/// cross-iteration-write) into the compiled program before verification;
+/// cross-iteration-write, plan-overlap, plan-oob) into the compiled
+/// program before verification;
 /// with --expect CODE it exits 0 iff the verifier found errors including
 /// CODE — i.e. iff an uncorrupted lint run *would* have exited 1.
 ///
@@ -42,6 +43,7 @@ struct Options {
   double Scale = 0.25;
   bool DumpEffects = false;
   bool DumpIR = false;
+  bool DumpPlan = false;
   std::string Corrupt; ///< fixture name, empty = none
   std::string Expect;  ///< diagnostic code required under --corrupt
 };
@@ -156,6 +158,44 @@ void corruptCrossIterationWrite(compiler::Program &Prog) {
   std::exit(2);
 }
 
+/// Overlapping-lifetime collision: relocates one non-pinned lifetime onto
+/// the bytes of another root that is live at the same time — exactly the
+/// aliasing mistake a buggy allocator would make.
+void corruptPlanOverlap(compiler::Program &Prog) {
+  compiler::MemoryPlan &Plan = Prog.Plan;
+  for (size_t I = 0; I < Plan.Lifetimes.size(); ++I)
+    for (size_t J = 0; J < Plan.Lifetimes.size(); ++J) {
+      if (I == J)
+        continue;
+      compiler::BufferLifetime &A = Plan.Lifetimes[I];
+      const compiler::BufferLifetime &B = Plan.Lifetimes[J];
+      if (A.Pinned || A.Bytes == 0 || B.Bytes == 0 ||
+          !A.overlapsLifetime(B) || A.overlapsBytes(B))
+        continue;
+      A.Offset = B.Offset; // collide with a simultaneously-live root
+      Plan.Offsets[A.Name] = A.Offset;
+      return;
+    }
+  std::fprintf(stderr, "latte-lint: no byte-disjoint simultaneously-live "
+                       "lifetimes to collide\n");
+  std::exit(2);
+}
+
+/// Out-of-bounds offset: pushes the largest non-pinned lifetime past the
+/// end of the arena.
+void corruptPlanOutOfBounds(compiler::Program &Prog) {
+  compiler::MemoryPlan &Plan = Prog.Plan;
+  for (compiler::BufferLifetime &L : Plan.Lifetimes) {
+    if (L.Pinned || L.Bytes == 0)
+      continue;
+    L.Offset = Plan.ArenaBytes; // aligned, but [Offset, Offset+Bytes) escapes
+    Plan.Offsets[L.Name] = L.Offset;
+    return;
+  }
+  std::fprintf(stderr, "latte-lint: no non-pinned lifetime to displace\n");
+  std::exit(2);
+}
+
 void applyCorruption(compiler::Program &Prog, const std::string &Kind) {
   if (Kind == "shape-mismatch")
     return corruptShapeMismatch(Prog);
@@ -165,9 +205,14 @@ void applyCorruption(compiler::Program &Prog, const std::string &Kind) {
     return corruptDroppedBarrier(Prog);
   if (Kind == "cross-iteration-write")
     return corruptCrossIterationWrite(Prog);
+  if (Kind == "plan-overlap")
+    return corruptPlanOverlap(Prog);
+  if (Kind == "plan-oob")
+    return corruptPlanOutOfBounds(Prog);
   std::fprintf(stderr,
                "latte-lint: unknown corruption '%s' (shape-mismatch, "
-               "use-before-def, dropped-barrier, cross-iteration-write)\n",
+               "use-before-def, dropped-barrier, cross-iteration-write, "
+               "plan-overlap, plan-oob)\n",
                Kind.c_str());
   std::exit(2);
 }
@@ -223,6 +268,8 @@ int lintPoint(const core::Net &Net, unsigned Mask, const Options &Opt,
   }
   if (Opt.DumpEffects)
     dumpUnitEffects(Prog);
+  if (Opt.DumpPlan)
+    std::fputs(Prog.Plan.str().c_str(), stdout);
   if (!Opt.Expect.empty() && R.hasErrors() && R.hasCode(Opt.Expect))
     ExpectMet = true;
   return R.errors();
@@ -234,7 +281,7 @@ int usage() {
       "usage: latte-lint [--model NAME|all] [--mask N|--all-masks]\n"
       "                  [--batch N] [--scale F] [--dump-effects] "
       "[--dump-ir]\n"
-      "                  [--corrupt KIND --expect CODE]\n"
+      "                  [--dump-plan] [--corrupt KIND --expect CODE]\n"
       "models: ");
   for (const char *M : kModels)
     std::fprintf(stderr, "%s ", M);
@@ -270,6 +317,8 @@ int main(int Argc, char **Argv) {
       Opt.DumpEffects = true;
     else if (A == "--dump-ir")
       Opt.DumpIR = true;
+    else if (A == "--dump-plan")
+      Opt.DumpPlan = true;
     else if (A == "--corrupt")
       Opt.Corrupt = Next();
     else if (A == "--expect")
