@@ -6,7 +6,10 @@
 /// (bench/baselines/) with a generous threshold so only gross regressions
 /// gate merges.
 ///
-///   bench/compare old.json new.json [--threshold 1.5]
+///   bench/compare old.json new.json [--threshold 1.5] [--markdown]
+///
+/// `--markdown` prints a GitHub-flavored table instead of the plain
+/// report — CI appends it to $GITHUB_STEP_SUMMARY.
 ///
 /// Exit codes: 0 = within threshold, 1 = regression, 2 = usage/parse error.
 ///
@@ -24,11 +27,15 @@ using namespace latte;
 int main(int argc, char **argv) {
   std::string OldPath, NewPath;
   double Threshold = 1.5;
+  bool Markdown = false;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--threshold") == 0 && I + 1 < argc) {
       Threshold = std::atof(argv[++I]);
+    } else if (std::strcmp(argv[I], "--markdown") == 0) {
+      Markdown = true;
     } else if (std::strcmp(argv[I], "--help") == 0) {
-      std::printf("usage: compare old.json new.json [--threshold R]\n");
+      std::printf("usage: compare old.json new.json [--threshold R] "
+                  "[--markdown]\n");
       return 0;
     } else if (OldPath.empty()) {
       OldPath = argv[I];
@@ -60,7 +67,9 @@ int main(int argc, char **argv) {
   }
 
   bench::CompareResult R = bench::compareBenchJson(Old, New, Threshold);
-  std::fputs(bench::formatCompareReport(R, Threshold).c_str(), stdout);
+  std::fputs(Markdown ? bench::formatCompareMarkdown(R, Threshold).c_str()
+                      : bench::formatCompareReport(R, Threshold).c_str(),
+             stdout);
   if (R.Compared.empty()) {
     std::fprintf(stderr, "no comparable metrics found\n");
     return 2;

@@ -8,6 +8,17 @@
 /// per group next to that qualitative expectation, plus each group's
 /// fusion report so the compiler's behavior is visible.
 ///
+/// Each group's memory row also shows the recompute trade: with
+/// CompileOptions::Recompute (the default) the im2col gather buffers are
+/// re-gathered in backward instead of retained across the
+/// forward/backward boundary, so the multi-conv groups' planned arenas
+/// shrink at the cost of replaying the gathers.
+///
+/// `--json BENCH_fig15.json` emits the machine-readable summary (timing
+/// rows with memory + recompute columns, per-pass compile times, spans,
+/// counters) that bench/compare diffs in CI; `--trace trace.json` emits a
+/// Chrome trace. `--scale/--batch/--reps` shrink the run for smoke tests.
+///
 //===----------------------------------------------------------------------===//
 
 #include "harness.h"
@@ -16,33 +27,53 @@
 
 using namespace latte;
 using namespace latte::bench;
+using namespace latte::compiler;
 
-int main() {
-  const double Scale = 0.5;
-  const int64_t Batch = 2;
+int main(int argc, char **argv) {
+  BenchOptions BO = parseBenchArgs(argc, argv, /*DefScale=*/0.5,
+                                   /*DefBatch=*/2, /*DefReps=*/2);
   printHeader("Figure 15: per-group speedup, VGG groups 1-4",
-              "spatial scale " + std::to_string(Scale) + ", batch " +
-                  std::to_string(Batch) + ", forward+backward");
+              "spatial scale " + std::to_string(BO.Scale) + ", batch " +
+                  std::to_string(BO.Batch) + ", forward+backward");
 
+  BenchReport R("fig15", BO);
   const char *PaperShape[] = {"largest gain", "large gain", "moderate gain",
                               "smallest gain (two convs, no fusion)"};
   for (int G = 1; G <= 4; ++G) {
-    models::ModelSpec Spec = models::vggGroup(G, Scale);
+    models::ModelSpec Spec = models::vggGroup(G, BO.Scale);
     // Show what fused in this group.
-    core::Net Net(Batch);
+    core::Net Net(BO.Batch);
     models::buildLatte(Net, Spec, true);
-    compiler::Program P = compiler::compile(Net);
+    Program P = compile(Net);
     std::string Fused = "none";
     if (!P.Report.FusionGroups.empty())
       Fused = join(P.Report.FusionGroups[0], "+");
 
-    PassTimes Caffe = timeBaseline(Spec, Batch, /*Naive=*/false, 2);
-    PassTimes Latte = timeLatte(Spec, Batch, {}, 2);
-    printSpeedupRow("group " + std::to_string(G) + " (" +
-                        Spec.InputDims.str() + ")",
-                    Caffe.total(), Latte.total(), PaperShape[G - 1]);
+    PassTimes Caffe = timeBaseline(Spec, BO.Batch, /*Naive=*/false, BO.Reps);
+    PassTimes Latte = timeLatte(Spec, BO.Batch, {}, BO.Reps);
+    CompileOptions NoRecompute;
+    NoRecompute.Recompute = false;
+    PassTimes LatteKeep = timeLatte(Spec, BO.Batch, NoRecompute, BO.Reps);
+
+    std::string Group = "group " + std::to_string(G);
+    printSpeedupRow(Group + " (" + Spec.InputDims.str() + ")", Caffe.total(),
+                    Latte.total(), PaperShape[G - 1]);
     std::printf("%-28s fused: %s\n", "", Fused.c_str());
-    printMemoryRow("  memory (planned vs eager)", Latte);
+    printMemoryRow("  memory, recompute on (default)", Latte);
+    printMemoryRow("  memory, recompute off", LatteKeep);
+
+    R.addRow("group" + std::to_string(G) + "_caffe", Caffe);
+    R.addRow("group" + std::to_string(G) + "_latte", Latte);
+    R.addRow("group" + std::to_string(G) + "_latte_retain", LatteKeep);
+  }
+
+  if (BO.profiling()) {
+    // Per-pass compile timing over the full pipeline on the deepest group.
+    core::Net Net(BO.Batch);
+    models::buildLatte(Net, models::vggGroup(4, BO.Scale), /*WithLoss=*/true);
+    R.addCompileStages(compileStaged(Net, {}));
+    if (!R.finish())
+      return 1;
   }
   return 0;
 }

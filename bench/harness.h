@@ -50,6 +50,11 @@ struct PassTimes {
   /// what one-buffer-per-root eager allocation would have used.
   int64_t ArenaBytes = 0;
   int64_t EagerBytes = 0;
+  /// The recompute trade (0 when the pass found no candidates): extra ops
+  /// replayed in backward vs bytes no longer retained across the
+  /// forward/backward boundary.
+  int64_t RecomputeFlops = 0;
+  int64_t RetainedBytesSaved = 0;
   double total() const { return FwdSec + BwdSec; }
   double memSavedPct() const {
     return EagerBytes > 0
@@ -190,6 +195,10 @@ public:
       Row.set("arena_bytes", T.ArenaBytes);
       Row.set("eager_bytes", T.EagerBytes);
     }
+    if (T.RecomputeFlops > 0) {
+      Row.set("recompute_flops", T.RecomputeFlops);
+      Row.set("retained_bytes_saved", T.RetainedBytesSaved);
+    }
     Doc.find("rows")->push(std::move(Row));
   }
 
@@ -280,6 +289,10 @@ inline PassTimes timeLatte(const models::ModelSpec &Spec, int64_t Batch,
     T.ArenaBytes = static_cast<int64_t>(Plan.ArenaBytes);
     T.EagerBytes = static_cast<int64_t>(Plan.EagerBytes);
   }
+  for (const compiler::RecomputeInfo &RI : Ex.program().Recomputes) {
+    T.RecomputeFlops += RI.Flops;
+    T.RetainedBytesSaved += RI.Bytes;
+  }
   Tensor In(Spec.InputDims.withPrefix(Batch));
   fillRandom(In, 7);
   Ex.setInput(In);
@@ -335,9 +348,14 @@ inline void printMemoryRow(const std::string &Label, const PassTimes &T) {
     std::printf("%-44s %12s\n", Label.c_str(), "n/a");
     return;
   }
-  std::printf("%-44s %9.1f MB arena %9.1f MB eager  (saved %.1f%%)\n",
+  std::printf("%-44s %9.1f MB arena %9.1f MB eager  (saved %.1f%%)",
               Label.c_str(), double(T.ArenaBytes) / 1e6,
               double(T.EagerBytes) / 1e6, T.memSavedPct());
+  if (T.RecomputeFlops > 0)
+    std::printf("  [recompute: +%.2f Mflop, -%.1f MB retained]",
+                double(T.RecomputeFlops) / 1e6,
+                double(T.RetainedBytesSaved) / 1e6);
+  std::printf("\n");
 }
 
 } // namespace bench

@@ -4,11 +4,13 @@
 
 #include "analyze/effects.h"
 #include "analyze/races.h"
+#include "compiler/recompute.h"
 #include "ir/expr.h"
 #include "ir/printer.h"
 #include "ir/visitor.h"
 #include "support/casting.h"
 
+#include <functional>
 #include <set>
 #include <sstream>
 
@@ -599,16 +601,143 @@ void verifyMemoryPlan(const Program &Prog, const BufferTable &Bufs,
       if (!L)
         continue; // plan.offset-missing already reported
       int G = static_cast<int>(U);
-      if (G < L->LiveBegin || G > L->LiveEnd) {
+      if (!L->liveAt(G)) {
+        std::string Ranges = "[" + std::to_string(L->LiveBegin) + ", " +
+                             std::to_string(L->LiveEnd) + "]";
+        if (L->Live2Begin >= 0)
+          Ranges += " u [" + std::to_string(L->Live2Begin) + ", " +
+                    std::to_string(L->Live2End) + "]";
         Diagnostic &D = R.error(
             "plan.lifetime",
             "unit " + std::to_string(G) + " references '" + Key +
-                "' outside its recorded live range [" +
-                std::to_string(L->LiveBegin) + ", " +
-                std::to_string(L->LiveEnd) + "]");
+                "' outside its recorded live range " + Ranges);
         D.Buffer = Key;
       }
     }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Recompute checks
+//===----------------------------------------------------------------------===//
+
+void forEachKernelCall(const Stmt *S,
+                       const std::function<void(const KernelCallStmt *)> &Fn) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::KernelCall:
+    Fn(cast<const KernelCallStmt>(S));
+    return;
+  case Stmt::Kind::Block:
+    for (const StmtPtr &C : cast<const BlockStmt>(S)->stmts())
+      forEachKernelCall(C.get(), Fn);
+    return;
+  case Stmt::Kind::For:
+    forEachKernelCall(cast<const ForStmt>(S)->body(), Fn);
+    return;
+  case Stmt::Kind::TiledLoop:
+    forEachKernelCall(cast<const TiledLoopStmt>(S)->body(), Fn);
+    return;
+  case Stmt::Kind::If: {
+    const auto *I = cast<const IfStmt>(S);
+    forEachKernelCall(I->thenStmt(), Fn);
+    forEachKernelCall(I->elseStmt(), Fn);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+/// Validates the recompute ledger (Program::Recomputes) against the
+/// backward program it claims to describe: the cloned unit exists before
+/// its consumer and is the first backward reference to the recomputed
+/// buffer (plan.recompute.placement); the clone writes nothing but that
+/// buffer (plan.recompute.purity); and every kernel inside the clone is a
+/// whitelisted pure gather — never an RNG or other stateful kernel
+/// (plan.recompute.stateful).
+void verifyRecompute(const Program &Prog, const BufferTable &Bufs,
+                     DiagnosticReport &R) {
+  if (Prog.Recomputes.empty())
+    return;
+  const auto *BwdBlock = dyn_cast<const BlockStmt>(Prog.Backward.get());
+  if (!BwdBlock) {
+    R.error("plan.recompute.placement",
+            "program records recomputed buffers but the backward program "
+            "is not a unit block");
+    return;
+  }
+  const int NumBwd = static_cast<int>(BwdBlock->stmts().size());
+  for (const RecomputeInfo &RI : Prog.Recomputes) {
+    auto Bad = [&](const std::string &Code,
+                   const std::string &Msg) -> Diagnostic & {
+      Diagnostic &D = R.error(Code, Msg);
+      D.Buffer = RI.Buffer;
+      return D;
+    };
+    if (RI.BackwardUnit < 0 || RI.ConsumerUnit >= NumBwd ||
+        RI.BackwardUnit >= RI.ConsumerUnit) {
+      Bad("plan.recompute.placement",
+          "recompute clone at backward unit " +
+              std::to_string(RI.BackwardUnit) +
+              " is not placed before its consumer (unit " +
+              std::to_string(RI.ConsumerUnit) + " of " +
+              std::to_string(NumBwd) + ")");
+      continue;
+    }
+    const BufferInfo *Root = Prog.resolveAlias(RI.Buffer);
+    if (!Root) {
+      Bad("plan.recompute.placement",
+          "recomputed buffer is not in the buffer table");
+      continue;
+    }
+
+    // The clone must be the backward definition: it writes the buffer, and
+    // no earlier backward unit touches it.
+    UnitEffects CloneEff = collectUnitEffects(
+        BwdBlock->stmts()[RI.BackwardUnit].get(), Bufs, nullptr);
+    auto CloneIt = CloneEff.Effects.Buffers.find(Root->Name);
+    bool CloneWrites = false;
+    if (CloneIt != CloneEff.Effects.Buffers.end())
+      for (const Access &A : CloneIt->second)
+        CloneWrites |= A.Write;
+    if (!CloneWrites)
+      Bad("plan.recompute.placement",
+          "backward unit " + std::to_string(RI.BackwardUnit) +
+              " does not write the buffer it claims to recompute");
+    for (int U = 0; U < RI.BackwardUnit; ++U) {
+      UnitEffects UE =
+          collectUnitEffects(BwdBlock->stmts()[U].get(), Bufs, nullptr);
+      if (UE.Effects.Buffers.count(Root->Name))
+        Bad("plan.recompute.placement",
+            "backward unit " + std::to_string(U) + " references '" +
+                Root->Name + "' before its recompute clone (unit " +
+                std::to_string(RI.BackwardUnit) + ")");
+    }
+
+    // Purity: the clone may write nothing but the recomputed buffer.
+    for (const auto &[Key, Accesses] : CloneEff.Effects.Buffers) {
+      if (Key == Root->Name)
+        continue;
+      for (const Access &A : Accesses)
+        if (A.Write) {
+          Bad("plan.recompute.purity",
+              "recompute clone for '" + Root->Name + "' also writes '" +
+                  Key + "'");
+          break;
+        }
+    }
+
+    // Statefulness: only whitelisted pure gathers may be replayed.
+    forEachKernelCall(
+        BwdBlock->stmts()[RI.BackwardUnit].get(),
+        [&](const KernelCallStmt *KC) {
+          if (!compiler::isRecomputableKernel(KC->kernel()))
+            Bad("plan.recompute.stateful",
+                "recompute clone calls non-recomputable kernel '" +
+                    std::string(kernelKindName(KC->kernel())) + "'");
+        });
   }
 }
 
@@ -628,6 +757,7 @@ DiagnosticReport analyze::verifyProgram(const Program &Prog,
                   Bufs, Opts, R);
   verifyProgramIR(Prog.Backward.get(), Prog.BackwardTasks,
                   /*IsBackward=*/true, Bufs, Opts, R);
+  verifyRecompute(Prog, Bufs, R);
   verifyMemoryPlan(Prog, Bufs, R);
   return R;
 }

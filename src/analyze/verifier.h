@@ -36,6 +36,11 @@
 ///     simultaneously-live roots share bytes (plan.overlap); and — cross-
 ///     checked against analyze::effects — no unit references a root
 ///     outside its recorded live range (plan.lifetime, plan.units)
+///   - the recompute ledger: every cloned gather sits before its backward
+///     consumer and is the first backward reference to the buffer it
+///     redefines (plan.recompute.placement), writes nothing else
+///     (plan.recompute.purity), and contains only whitelisted pure gather
+///     kernels, never RNG/stateful ones (plan.recompute.stateful)
 ///
 //===----------------------------------------------------------------------===//
 

@@ -5,6 +5,7 @@
 #include "analyze/verifier.h"
 #include "compiler/memplan.h"
 #include "compiler/passes.h"
+#include "compiler/recompute.h"
 #include "compiler/synthesis.h"
 #include "ir/printer.h"
 #include "support/error.h"
@@ -41,6 +42,10 @@ Program compiler::compile(const core::Net &Net, const CompileOptions &Opts) {
     assemblePrograms(std::move(Tasks), Opts, Prog);
   }
   prof::count(prof::Counter::FusionHits, Prog.Report.FusionGroups.size());
+  if (Opts.Recompute) {
+    prof::ScopedTimer T("recompute");
+    recomputeGathers(Prog);
+  }
   {
     prof::ScopedTimer T("memplan");
     Prog.Plan = planMemory(Prog);
@@ -65,6 +70,7 @@ std::vector<PassStage> compiler::compileStaged(const core::Net &Net,
   Cur.Fusion = false;
   Cur.Parallelize = false;
   Cur.VectorKernels = false;
+  Cur.Recompute = false;
 
   struct Switch {
     const char *Name;
@@ -77,6 +83,7 @@ std::vector<PassStage> compiler::compileStaged(const core::Net &Net,
       {"+tiling", &CompileOptions::Tiling},
       {"+fusion", &CompileOptions::Fusion},
       {"+parallelize", &CompileOptions::Parallelize},
+      {"+recompute", &CompileOptions::Recompute},
   };
 
   std::vector<PassStage> Stages;

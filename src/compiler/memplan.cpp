@@ -22,8 +22,10 @@ struct RootState {
   int FirstRef = -1;
   int LastRef = -1;
   int FirstFwdRef = -1;
+  int LastFwdRef = -1;
   int FirstBwdRef = -1;
   bool Pinned = false;
+  bool Recomputed = false;
   bool Retained = false;
   bool ZeroOnForward = false;
   bool ZeroOnBackward = false;
@@ -115,10 +117,12 @@ std::string MemoryPlan::str() const {
      << " backward=" << NumBackwardUnits << "\n";
   for (const BufferLifetime &L : Lifetimes) {
     OS << "  " << L.Name << " offset=" << L.Offset << " bytes=" << L.Bytes
-       << " live=[" << L.LiveBegin << "," << L.LiveEnd << "]"
-       << " refs=[" << L.FirstRef << "," << L.LastRef << "] "
+       << " live=[" << L.LiveBegin << "," << L.LiveEnd << "]";
+    if (L.Live2Begin >= 0)
+      OS << " live2=[" << L.Live2Begin << "," << L.Live2End << "]";
+    OS << " refs=[" << L.FirstRef << "," << L.LastRef << "] "
        << (L.Pinned ? "pinned" : L.Retained ? "retained" : "interval")
-       << "\n";
+       << (L.Recomputed ? " recomputed" : "") << "\n";
   }
   for (const auto &[Unit, Names] : ZeroBefore) {
     OS << "zero-before unit " << Unit << ":";
@@ -212,6 +216,7 @@ MemoryPlan compiler::planMemory(const Program &Prog) {
       if (U < NumFwd) {
         if (S.FirstFwdRef < 0)
           S.FirstFwdRef = U;
+        S.LastFwdRef = U;
       } else if (S.FirstBwdRef < 0) {
         S.FirstBwdRef = U;
       }
@@ -224,6 +229,15 @@ MemoryPlan compiler::planMemory(const Program &Prog) {
     }
   }
 
+  // Recomputed roots (compiler/recompute.h): the backward consumer is fed
+  // by a cloned gather that rewrites the whole buffer, so cross-boundary
+  // retention is unnecessary; they get two disjoint intervals instead.
+  for (const RecomputeInfo &RI : Prog.Recomputes) {
+    auto It = Roots.find(RI.Buffer);
+    if (It != Roots.end())
+      It->second.Recomputed = true;
+  }
+
   // --- classification fixups ---------------------------------------------
   for (const std::string &Name : RootOrder) {
     RootState &S = Roots[Name];
@@ -234,8 +248,11 @@ MemoryPlan compiler::planMemory(const Program &Prog) {
     if (S.FirstRef < 0)
       S.Pinned = true;
     // Referenced in both passes: retain so repeated forward()/backward()
-    // calls replay against intact bytes.
-    if (S.FirstFwdRef >= 0 && S.FirstBwdRef >= 0)
+    // calls replay against intact bytes — unless the recompute pass proved
+    // the backward interval starts with a full re-gather (replay of either
+    // interval begins with a whole-buffer write, so stale bytes are never
+    // read).
+    if (S.FirstFwdRef >= 0 && S.FirstBwdRef >= 0 && !S.Recomputed)
       S.Retained = true;
     // State carriers: the first access consumes bytes no task of this run
     // produced and no scheduled clear covers.
@@ -265,6 +282,15 @@ MemoryPlan compiler::planMemory(const Program &Prog) {
       // pass and corrupt the retained contents.
       L.LiveBegin = 0;
       L.LiveEnd = TotalUnits; // sentinel past the last unit: end-of-run
+    } else if (S.Recomputed && S.FirstFwdRef >= 0 && S.LastFwdRef >= 0 &&
+               S.FirstBwdRef >= 0) {
+      // Two disjoint intervals; each starts with a whole-buffer gather
+      // write, so the bytes in the gap are free for other roots.
+      L.LiveBegin = S.FirstFwdRef;
+      L.LiveEnd = S.LastFwdRef;
+      L.Live2Begin = S.FirstBwdRef;
+      L.Live2End = S.LastRef;
+      L.Recomputed = true;
     } else {
       L.LiveBegin = S.FirstRef;
       L.LiveEnd = S.LastRef;

@@ -35,6 +35,15 @@
 ///                 outside that window. Pass-local Grad, GradInput, Input
 ///                 and Scratch buffers — where the folding savings are.
 ///
+/// Recomputed roots (compiler/recompute.h) are the exception to the
+/// both-passes retention rule: their backward reader is fed by a cloned
+/// gather that rewrites the whole buffer, so they get TWO disjoint live
+/// intervals — [first fwd ref, last fwd ref] and [re-gather, last ref] —
+/// and their bytes are reusable in the gap across the forward/backward
+/// boundary. That gap is exactly where the sublinear-memory savings come
+/// from: N conv layers' im2col buffers stop being retained simultaneously
+/// and instead peak one at a time around their backward consumers.
+///
 /// Zeroing: ZeroOnForward/ZeroOnBackward roots with interval lifetimes are
 /// scheduled lazily (cleared immediately before their first referencing
 /// unit) so the clear itself does not extend the live range to the top of
@@ -64,12 +73,36 @@ struct BufferLifetime {
   int LastRef = -1;    ///< last referencing global unit (-1: never)
   int LiveBegin = 0;   ///< allocation interval start (inclusive)
   int LiveEnd = 0;     ///< allocation interval end (inclusive)
+  /// Second allocation interval of a recomputed root (-1: none): the
+  /// backward re-gather through the last reference. Bytes are reusable in
+  /// the gap between the two intervals.
+  int Live2Begin = -1;
+  int Live2End = -1;
   bool Pinned = false;   ///< program-lifetime
   bool Retained = false; ///< live through end-of-run from first reference
+  bool Recomputed = false; ///< re-gathered in backward instead of retained
 
-  /// True when [LiveBegin, LiveEnd] intersects \p Other's live range.
+  /// True when either of this root's live intervals covers unit \p G.
+  bool liveAt(int G) const {
+    return (G >= LiveBegin && G <= LiveEnd) ||
+           (Live2Begin >= 0 && G >= Live2Begin && G <= Live2End);
+  }
+
+  /// True when any live interval of this root intersects any of \p Other's.
   bool overlapsLifetime(const BufferLifetime &Other) const {
-    return LiveBegin <= Other.LiveEnd && Other.LiveBegin <= LiveEnd;
+    auto Hits = [](int B1, int E1, int B2, int E2) {
+      return B1 <= E2 && B2 <= E1;
+    };
+    if (Hits(LiveBegin, LiveEnd, Other.LiveBegin, Other.LiveEnd))
+      return true;
+    if (Live2Begin >= 0 &&
+        Hits(Live2Begin, Live2End, Other.LiveBegin, Other.LiveEnd))
+      return true;
+    if (Other.Live2Begin >= 0 &&
+        Hits(LiveBegin, LiveEnd, Other.Live2Begin, Other.Live2End))
+      return true;
+    return Live2Begin >= 0 && Other.Live2Begin >= 0 &&
+           Hits(Live2Begin, Live2End, Other.Live2Begin, Other.Live2End);
   }
   /// True when the assigned byte ranges intersect (zero-size never does).
   bool overlapsBytes(const BufferLifetime &Other) const {

@@ -103,6 +103,26 @@ struct TaskLabel {
   std::vector<std::string> Ensembles; ///< ensembles the unit covers
 };
 
+/// One rematerialization decision of the recompute pass
+/// (compiler/recompute.h): instead of retaining \c Buffer across the
+/// forward/backward boundary, its producing pure-gather statements were
+/// cloned into the backward program immediately before the single backward
+/// unit that reads it. The memory planner then gives the root two disjoint
+/// live intervals instead of whole-timeline retention, and the profiler
+/// reports the traded work (recompute_flops / retained_bytes_saved).
+struct RecomputeInfo {
+  std::string Buffer;       ///< recomputed alias-root (gathered windows)
+  std::string ProducerTask; ///< forward task label the clone came from
+  int ForwardUnit = -1;     ///< producing unit index in Forward
+  int BackwardUnit = -1;    ///< index of the inserted clone in Backward
+  int ConsumerUnit = -1;    ///< backward unit reading Buffer (> BackwardUnit)
+  /// Work re-done per backward pass, counted as one op per re-gathered
+  /// element (gathers move data; index arithmetic is the only arithmetic).
+  int64_t Flops = 0;
+  /// Buffer extent the plan no longer retains across the boundary.
+  int64_t Bytes = 0;
+};
+
 /// A compiled network.
 struct Program {
   int64_t BatchSize = 0;
@@ -122,6 +142,12 @@ struct Program {
   std::string ProbBuffer;   ///< softmax probabilities, {batch, classes}
 
   CompileReport Report;
+
+  /// Buffers the recompute pass rematerializes in backward instead of
+  /// retaining (empty when CompileOptions::Recompute is off or nothing
+  /// qualified). Consumed by the memory planner, the verifier's
+  /// plan.recompute.* checks, the profiler, and the bench harness.
+  std::vector<RecomputeInfo> Recomputes;
 
   /// Arena layout computed by planMemory() at the end of compile().
   /// Plan.Valid is false on hand-built programs; the engine and codegen
@@ -167,6 +193,10 @@ struct CompileOptions {
   bool Fusion = true;              ///< cross-layer fusion (§5.4.2)
   bool Parallelize = true;         ///< batch x tile parallel loops (§5.4.3)
   bool VectorKernels = true; ///< engine uses vectorized kernel variants
+  /// Rematerialize pure-gather buffers in backward instead of retaining
+  /// them across the forward/backward boundary (compiler/recompute.h) —
+  /// the sublinear-memory trade: less arena, a re-gather per backward.
+  bool Recompute = true;
   int64_t TileSize = 8;      ///< target tile extent along y
   /// Cost-model threshold: layers whose spatial row extent is below this
   /// are left untiled (the paper's §7.1.2 observation — tiling loses its

@@ -83,6 +83,19 @@ Executor::Executor(Program TheProg, ExecOptions Opts)
     if (prof::enabled())
       prof::count(prof::Counter::EagerBytes, EagerBytes);
   }
+  if (prof::enabled() && !Prog.Recomputes.empty()) {
+    int64_t Flops = 0, Saved = 0;
+    for (const RecomputeInfo &RI : Prog.Recomputes) {
+      Flops += RI.Flops;
+      Saved += RI.Bytes;
+    }
+    prof::count(prof::Counter::RecomputeFlops, Flops);
+    // The bytes the plan no longer retains across the fwd/bwd boundary —
+    // the memory half of the recompute trade (only realized when the
+    // planned arena is active).
+    if (PlanActive)
+      prof::count(prof::Counter::RetainedBytesSaved, Saved);
+  }
   for (const BufferInfo &B : Prog.Buffers) {
     BufferRT RT;
     RT.Dims = B.Dims;

@@ -85,6 +85,23 @@ CompareResult bench::compareBenchJson(const json::Value &Old,
       else if (D.OldSec > 0 && D.NewSec < D.OldSec / MemThreshold)
         R.Improvements.push_back(D);
     }
+    // Recompute counters are informational (the flops/bytes trade is a
+    // deliberate compiler policy, not a perf signal): compared so the
+    // report shows drift, never gated.
+    static const char *InfoMetrics[] = {"recompute_flops",
+                                        "retained_bytes_saved"};
+    for (const char *Metric : InfoMetrics) {
+      const json::Value *OldV = OldRow.find(Metric);
+      const json::Value *NewV = NewRow->find(Metric);
+      if (!OldV || !NewV || !OldV->isNumber() || !NewV->isNumber())
+        continue;
+      MetricDelta D;
+      D.Label = Label;
+      D.Metric = Metric;
+      D.OldSec = OldV->asNumber();
+      D.NewSec = NewV->asNumber();
+      R.Compared.push_back(D);
+    }
   }
 
   // Rows only in the new file are informational too.
@@ -127,5 +144,48 @@ std::string bench::formatCompareReport(const CompareResult &R,
     Line(D, "improved");
   for (const std::string &N : R.Notes)
     Out += "  note: " + N + "\n";
+  return Out;
+}
+
+std::string bench::formatCompareMarkdown(const CompareResult &R,
+                                         double Threshold) {
+  auto Status = [&R](const MetricDelta &D) -> const char * {
+    for (const MetricDelta &Reg : R.Regressions)
+      if (Reg.Label == D.Label && Reg.Metric == D.Metric)
+        return ":red_circle: regressed";
+    for (const MetricDelta &Imp : R.Improvements)
+      if (Imp.Label == D.Label && Imp.Metric == D.Metric)
+        return ":green_circle: improved";
+    return "ok";
+  };
+  auto Cell = [](const MetricDelta &D, double V) {
+    char Buf[64];
+    if (D.Metric == "arena_bytes" || D.Metric == "retained_bytes_saved")
+      std::snprintf(Buf, sizeof(Buf), "%.1f MB", V / 1e6);
+    else if (D.Metric == "recompute_flops")
+      std::snprintf(Buf, sizeof(Buf), "%.2f Mflop", V / 1e6);
+    else
+      std::snprintf(Buf, sizeof(Buf), "%.3f ms", V * 1e3);
+    return std::string(Buf);
+  };
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "compared %zu metrics at threshold %.2fx: %zu regressed, "
+                "%zu improved\n\n",
+                R.Compared.size(), Threshold, R.Regressions.size(),
+                R.Improvements.size());
+  std::string Out = Buf;
+  Out += "| row | metric | baseline | current | ratio | status |\n";
+  Out += "|---|---|---:|---:|---:|---|\n";
+  for (const MetricDelta &D : R.Compared) {
+    std::snprintf(Buf, sizeof(Buf), "%.2fx", D.ratio());
+    Out += "| " + D.Label + " | " + D.Metric + " | " + Cell(D, D.OldSec) +
+           " | " + Cell(D, D.NewSec) + " | " + Buf + " | " + Status(D) +
+           " |\n";
+  }
+  for (const std::string &N : R.Notes)
+    Out += "\n_note: " + N + "_";
+  if (!R.Notes.empty())
+    Out += "\n";
   return Out;
 }

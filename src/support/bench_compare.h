@@ -55,6 +55,10 @@ CompareResult compareBenchJson(const json::Value &Old,
 /// Renders \p R as the human-readable report the CLI prints.
 std::string formatCompareReport(const CompareResult &R, double Threshold);
 
+/// Renders \p R as a GitHub-flavored markdown table (every compared
+/// metric, with per-row status) for $GITHUB_STEP_SUMMARY.
+std::string formatCompareMarkdown(const CompareResult &R, double Threshold);
+
 } // namespace bench
 } // namespace latte
 

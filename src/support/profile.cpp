@@ -27,6 +27,10 @@ const char *prof::counterName(Counter C) {
     return "arena_bytes";
   case Counter::EagerBytes:
     return "eager_bytes";
+  case Counter::RecomputeFlops:
+    return "recompute_flops";
+  case Counter::RetainedBytesSaved:
+    return "retained_bytes_saved";
   }
   return "unknown";
 }

@@ -43,8 +43,10 @@ enum class Counter : int {
   KernelCalls,   ///< total library-kernel invocations
   ArenaBytes,    ///< planned arena footprint of constructed executors
   EagerBytes,    ///< eager (per-root) footprint of the same programs
+  RecomputeFlops,     ///< extra ops the recompute clones replay in backward
+  RetainedBytesSaved, ///< bytes no longer retained across fwd/bwd boundary
 };
-constexpr int NumCounters = 8;
+constexpr int NumCounters = 10;
 
 /// Printable snake_case name ("flops", "bytes_moved", ...).
 const char *counterName(Counter C);

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 using namespace latte;
 using namespace latte::verify;
@@ -88,10 +89,22 @@ GradCheckReport verify::gradCheck(engine::Executor &Ex,
   if (!DataGradBuffer.empty())
     Targets.push_back({Prog.DataBuffer, DataGradBuffer});
 
+  // Snapshot every analytic gradient NOW, before any numeric forward pass:
+  // interval-planned gradients (the data gradient in particular) may share
+  // arena bytes with forward-written buffers — sound for a full
+  // forward+backward run, but a forward-only re-evaluation can overwrite
+  // them, so a later read would see clobbered bytes instead of the
+  // analytic result.
+  std::vector<Tensor> Analytics;
+  Analytics.reserve(Targets.size());
+  for (const CheckTarget &T : Targets)
+    Analytics.push_back(Ex.readBuffer(T.GradBuffer));
+
   GradCheckReport Report;
   Report.Seed = Opts.Seed;
-  for (const CheckTarget &T : Targets) {
-    Tensor Analytic = Ex.readBuffer(T.GradBuffer);
+  for (size_t TI = 0; TI < Targets.size(); ++TI) {
+    const CheckTarget &T = Targets[TI];
+    const Tensor &Analytic = Analytics[TI];
     // The data buffer was captured pre-forward; parameters are not written
     // by forward/backward, so reading them now is safe.
     Tensor Values = T.ValueBuffer == Prog.DataBuffer

@@ -7,6 +7,7 @@
 #include "support/rng.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <optional>
 #include <sstream>
 
@@ -133,6 +134,28 @@ void makeInputs(const Program &Prog, const LatticeOptions &O, Tensor &Input,
 
 } // namespace
 
+bool verify::deepTier() {
+  const char *Env = std::getenv("LATTE_DEEP");
+  return Env && Env[0] != '0';
+}
+
+std::vector<unsigned> verify::sweepMasks() {
+  std::vector<unsigned> Masks;
+  Masks.push_back(0); // the reference point, always first
+  if (deepTier()) {
+    for (unsigned M = 1; M < (1u << kNumLatticeSwitches); ++M)
+      Masks.push_back(M);
+    return Masks;
+  }
+  // Per-PR tier: the full Recompute-on sub-lattice (the shipping default
+  // for every switch combination underneath it) plus the everything-but-
+  // recompute point — 66 masks, about the cost of the old 2^6 sweep.
+  for (unsigned M = 64; M < 128; ++M)
+    Masks.push_back(M);
+  Masks.push_back(0x3f);
+  return Masks;
+}
+
 CompileOptions verify::optionsForMask(unsigned Mask,
                                       const LatticeOptions &O) {
   assert(Mask < (1u << kNumLatticeSwitches) && "mask out of lattice range");
@@ -143,6 +166,7 @@ CompileOptions verify::optionsForMask(unsigned Mask,
   C.Fusion = (Mask & 8u) != 0;
   C.Parallelize = (Mask & 16u) != 0;
   C.VectorKernels = (Mask & 32u) != 0;
+  C.Recompute = (Mask & 64u) != 0;
   C.TileSize = O.TileSize;
   C.MinRowsToTile = O.MinRowsToTile;
   C.VerifyEach = O.VerifyEach;
@@ -154,7 +178,7 @@ std::string verify::flagString(const CompileOptions &Opts) {
   Os << "gemm=" << Opts.PatternMatchGemm
      << " kernels=" << Opts.PatternMatchKernels << " tiling=" << Opts.Tiling
      << " fusion=" << Opts.Fusion << " parallel=" << Opts.Parallelize
-     << " vector=" << Opts.VectorKernels;
+     << " vector=" << Opts.VectorKernels << " recompute=" << Opts.Recompute;
   return Os.str();
 }
 
@@ -203,7 +227,9 @@ LatticeReport verify::runLattice(const core::Net &Net,
       std::move(RefProg), RefOpts, O, Input, Labels, CheckGradients);
   ++Report.PointsRun;
 
-  for (unsigned Mask = 1; Mask < (1u << kNumLatticeSwitches); ++Mask) {
+  for (unsigned Mask : sweepMasks()) {
+    if (Mask == 0)
+      continue; // already run as the reference
     CompileOptions Opts = optionsForMask(Mask, O);
     std::unique_ptr<Executor> Got = runVariant(
         compile(Net, Opts), Opts, O, Input, Labels, CheckGradients);

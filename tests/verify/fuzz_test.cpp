@@ -2,7 +2,8 @@
 ///
 /// Random-network fuzzing of the whole compiler: seeded generator graphs
 /// (conv/pool/FC/activation/dropout/branch/custom blocks with randomized
-/// geometry) are swept through the full 2^6 optimization lattice. Every
+/// geometry) are swept through the tier's optimization-lattice masks
+/// (verify::sweepMasks — all 2^7 at the deep tier). Every
 /// failure message carries the generator seed and the flag combination —
 /// that pair reproduces the exact net and compile.
 ///
@@ -29,7 +30,8 @@ void fuzzOne(uint64_t Seed, const verify::RandomNetOptions &O = {}) {
   LO.DataSeed = Seed * 2246822519u + 7;
   verify::LatticeReport R = verify::runLattice(Net, LO, Desc);
   EXPECT_TRUE(R.Passed) << R.summary();
-  EXPECT_EQ(R.PointsRun, 64) << Desc;
+  EXPECT_EQ(R.PointsRun, static_cast<int>(verify::sweepMasks().size()))
+      << Desc;
 }
 
 } // namespace
@@ -70,7 +72,7 @@ TEST(FuzzTest, ClassesMatchGeneratedHead) {
   }
 }
 
-// Ten seeded nets through all 64 lattice points each. Seeds are fixed so
+// Ten seeded nets through the swept lattice points each. Seeds are fixed so
 // failures are reproducible; they were chosen sequentially, not filtered.
 TEST(FuzzTest, LatticeSeed1) { fuzzOne(1); }
 TEST(FuzzTest, LatticeSeed2) { fuzzOne(2); }

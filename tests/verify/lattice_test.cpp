@@ -1,8 +1,9 @@
 //===- tests/verify/lattice_test.cpp --------------------------*- C++ -*-===//
 ///
-/// The optimization-lattice differential oracle: every combination of the
-/// six CompileOptions switches (2^6 = 64 points) must produce the same
-/// forward outputs and parameter gradients as the fully-unoptimized
+/// The optimization-lattice differential oracle: the swept combinations of
+/// the seven CompileOptions switches (all 2^7 = 128 points at the deep
+/// tier, the curated verify::sweepMasks() subset per-PR) must produce the
+/// same forward outputs and parameter gradients as the fully-unoptimized
 /// interpreter, on three hand-built nets covering the GEMM path, the
 /// kernel-match path, and the interpreted/custom path. Also covers the
 /// per-pass snapshot machinery (compiler::compileStaged) and divergence
@@ -16,6 +17,8 @@
 #include "verify/random_net.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 using namespace latte;
 using namespace latte::compiler;
@@ -77,24 +80,43 @@ void buildCustomNet(Net &Net) {
 } // namespace
 
 TEST(LatticeTest, OptionsForMaskCoversAllSwitches) {
-  EXPECT_EQ(verify::kNumLatticeSwitches, 6u);
+  EXPECT_EQ(verify::kNumLatticeSwitches, 7u);
   CompileOptions None = verify::optionsForMask(0);
   EXPECT_FALSE(None.PatternMatchGemm || None.PatternMatchKernels ||
                None.Tiling || None.Fusion || None.Parallelize ||
-               None.VectorKernels);
-  CompileOptions All = verify::optionsForMask(63);
+               None.VectorKernels || None.Recompute);
+  CompileOptions All = verify::optionsForMask(127);
   EXPECT_TRUE(All.PatternMatchGemm && All.PatternMatchKernels && All.Tiling &&
-              All.Fusion && All.Parallelize && All.VectorKernels);
+              All.Fusion && All.Parallelize && All.VectorKernels &&
+              All.Recompute);
   // Each bit flips exactly one switch.
   for (unsigned Bit = 0; Bit < verify::kNumLatticeSwitches; ++Bit) {
     CompileOptions C = verify::optionsForMask(1u << Bit);
     int On = C.PatternMatchGemm + C.PatternMatchKernels + C.Tiling +
-             C.Fusion + C.Parallelize + C.VectorKernels;
+             C.Fusion + C.Parallelize + C.VectorKernels + C.Recompute;
     EXPECT_EQ(On, 1) << "bit " << Bit;
   }
   std::string S = verify::flagString(All);
   EXPECT_NE(S.find("gemm=1"), std::string::npos);
   EXPECT_NE(S.find("vector=1"), std::string::npos);
+  EXPECT_NE(S.find("recompute=1"), std::string::npos);
+}
+
+TEST(LatticeTest, SweepMasksCoverTier) {
+  std::vector<unsigned> Masks = verify::sweepMasks();
+  ASSERT_FALSE(Masks.empty());
+  EXPECT_EQ(Masks.front(), 0u); // the reference point leads
+  if (verify::deepTier()) {
+    EXPECT_EQ(Masks.size(), 1u << verify::kNumLatticeSwitches);
+  } else {
+    // Per-PR tier: reference + full recompute-on sub-lattice + the
+    // all-but-recompute point, at roughly the pre-recompute sweep cost.
+    EXPECT_EQ(Masks.size(), 66u);
+    EXPECT_NE(std::find(Masks.begin(), Masks.end(), 0x7fu), Masks.end());
+    EXPECT_NE(std::find(Masks.begin(), Masks.end(), 0x3fu), Masks.end());
+  }
+  for (unsigned M : Masks)
+    EXPECT_LT(M, 1u << verify::kNumLatticeSwitches);
 }
 
 TEST(LatticeTest, MlpLattice) {
@@ -102,7 +124,7 @@ TEST(LatticeTest, MlpLattice) {
   buildMlp(Net);
   verify::LatticeReport R = verify::runLattice(Net, {}, "hand-built MLP");
   EXPECT_TRUE(R.Passed) << R.summary();
-  EXPECT_EQ(R.PointsRun, 64);
+  EXPECT_EQ(R.PointsRun, static_cast<int>(verify::sweepMasks().size()));
   EXPECT_GT(R.BuffersCompared, 0);
 }
 
@@ -111,7 +133,7 @@ TEST(LatticeTest, ConvNetLattice) {
   buildConvNet(Net);
   verify::LatticeReport R = verify::runLattice(Net, {}, "hand-built ConvNet");
   EXPECT_TRUE(R.Passed) << R.summary();
-  EXPECT_EQ(R.PointsRun, 64);
+  EXPECT_EQ(R.PointsRun, static_cast<int>(verify::sweepMasks().size()));
 }
 
 TEST(LatticeTest, CustomNeuronLattice) {
@@ -120,7 +142,7 @@ TEST(LatticeTest, CustomNeuronLattice) {
   verify::LatticeReport R =
       verify::runLattice(Net, {}, "hand-built custom/branching net");
   EXPECT_TRUE(R.Passed) << R.summary();
-  EXPECT_EQ(R.PointsRun, 64);
+  EXPECT_EQ(R.PointsRun, static_cast<int>(verify::sweepMasks().size()));
 }
 
 TEST(LatticeTest, SummaryCarriesReproductionSeeds) {
@@ -139,12 +161,12 @@ TEST(LatticeTest, SummaryCarriesReproductionSeeds) {
 TEST(LatticeTest, CompileStagedSnapshotsPipeline) {
   Net Net(2);
   buildMlp(Net);
-  CompileOptions All = verify::optionsForMask(63);
+  CompileOptions All = verify::optionsForMask(127);
   std::vector<PassStage> Stages = compileStaged(Net, All);
   // baseline + one stage per enabled switch.
-  ASSERT_EQ(Stages.size(), 7u);
+  ASSERT_EQ(Stages.size(), 8u);
   EXPECT_EQ(Stages.front().Name, "baseline");
-  EXPECT_EQ(Stages.back().Name, "+parallelize");
+  EXPECT_EQ(Stages.back().Name, "+recompute");
   for (const PassStage &S : Stages) {
     EXPECT_FALSE(S.ForwardIR.empty()) << S.Name;
     EXPECT_FALSE(S.BackwardIR.empty()) << S.Name;
@@ -152,7 +174,7 @@ TEST(LatticeTest, CompileStagedSnapshotsPipeline) {
   // Disabling a switch drops its stage.
   CompileOptions NoTiling = All;
   NoTiling.Tiling = false;
-  EXPECT_EQ(compileStaged(Net, NoTiling).size(), 6u);
+  EXPECT_EQ(compileStaged(Net, NoTiling).size(), 7u);
 
   // Snapshots change as passes land: the baseline and fully-optimized
   // forward IR must differ (GEMM calls replace loop nests).
@@ -165,7 +187,7 @@ TEST(LatticeTest, LocalizeDivergenceCleanOnCorrectCompiler) {
   Net Net(2);
   buildConvNet(Net);
   verify::StageDivergence D =
-      verify::localizeDivergence(Net, verify::optionsForMask(63), {});
+      verify::localizeDivergence(Net, verify::optionsForMask(127), {});
   EXPECT_FALSE(D.Found) << "stage " << D.Stage << " diverged on buffer "
                         << D.Divergence.Buffer;
 }

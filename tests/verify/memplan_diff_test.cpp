@@ -1,7 +1,8 @@
 //===- tests/verify/memplan_diff_test.cpp ---------------------*- C++ -*-===//
 ///
-/// Differential verification of the memory planner: for every point of the
-/// 2^6 optimization lattice, run the same program twice — once with the
+/// Differential verification of the memory planner: for every swept point
+/// of the 2^7 optimization lattice (verify::sweepMasks — all 128 under
+/// LATTE_DEEP=1), run the same program twice — once with the
 /// planned arena active and once with ExecOptions::NoMemPlan (eager
 /// one-buffer-per-root allocation, the pre-planner behavior) — and require
 /// the results to be BITWISE identical. The arena only changes where
@@ -73,8 +74,10 @@ void diffOneMask(const models::ModelSpec &Spec, int64_t Batch,
 
   // Two epochs so the ZeroOn* reset paths (lazy per-unit clears on the
   // planned side, top-of-pass clears on the eager side) are exercised on
-  // dirty buffers, not just on fresh zero-filled storage.
-  for (int Epoch = 0; Epoch < 2; ++Epoch) {
+  // dirty buffers, not just on fresh zero-filled storage. The nightly
+  // deep tier doubles that to catch state leaking across longer runs.
+  const int Epochs = verify::deepTier() ? 4 : 2;
+  for (int Epoch = 0; Epoch < Epochs; ++Epoch) {
     A.forward();
     A.backward();
     B.forward();
@@ -102,7 +105,7 @@ void diffOneMask(const models::ModelSpec &Spec, int64_t Batch,
 }
 
 void diffAllMasks(const models::ModelSpec &Spec, int64_t Batch) {
-  for (unsigned Mask = 0; Mask < (1u << verify::kNumLatticeSwitches); ++Mask)
+  for (unsigned Mask : verify::sweepMasks())
     diffOneMask(Spec, Batch, Mask);
 }
 

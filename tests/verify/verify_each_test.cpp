@@ -1,12 +1,13 @@
 //===- tests/verify/verify_each_test.cpp ----------------------*- C++ -*-===//
 ///
-/// Zero-false-positive proof for the static verifier: every point of the
-/// 2^6 optimization lattice is compiled with LatticeOptions::VerifyEach,
+/// Zero-false-positive proof for the static verifier: every swept point of
+/// the 2^7 optimization lattice is compiled with LatticeOptions::VerifyEach,
 /// which runs analyze::verifyProgram on each compiled program and aborts
 /// on any Error diagnostic. A passing lattice run therefore certifies
 /// that the verifier accepts everything the compiler legitimately emits —
-/// across pattern matching, tiling, fusion, parallelization, and vector
-/// kernels, on both a GEMM-heavy MLP and a padded conv/pool net.
+/// across pattern matching, tiling, fusion, parallelization, vector
+/// kernels, and recompute, on both a GEMM-heavy MLP and a padded
+/// conv/pool net.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,7 +56,7 @@ TEST(VerifyEachTest, MlpLatticeVerifiesEveryPoint) {
   O.VerifyEach = true;
   verify::LatticeReport R = verify::runLattice(Net, O, "verify-each MLP");
   EXPECT_TRUE(R.Passed) << R.summary();
-  EXPECT_EQ(R.PointsRun, 64);
+  EXPECT_EQ(R.PointsRun, static_cast<int>(verify::sweepMasks().size()));
 }
 
 TEST(VerifyEachTest, PaddedConvLatticeVerifiesEveryPoint) {
@@ -66,5 +67,5 @@ TEST(VerifyEachTest, PaddedConvLatticeVerifiesEveryPoint) {
   verify::LatticeReport R =
       verify::runLattice(Net, O, "verify-each padded conv net");
   EXPECT_TRUE(R.Passed) << R.summary();
-  EXPECT_EQ(R.PointsRun, 64);
+  EXPECT_EQ(R.PointsRun, static_cast<int>(verify::sweepMasks().size()));
 }

@@ -2,7 +2,8 @@
 ///
 /// \file
 /// latte-lint: compiles a shipped model (src/models/) at a chosen
-/// CompileOptions lattice point (or all 2^6 of them), runs the static
+/// CompileOptions lattice point (or the tier's sweep of them —
+/// verify::sweepMasks, all 2^7 under LATTE_DEEP=1), runs the static
 /// verifier + race detector, and prints structured diagnostics, optionally
 /// with per-task effect-set dumps. Exit code 1 when any Error diagnostic
 /// was produced, 0 otherwise (warnings and the declared §6 lossy
@@ -10,8 +11,8 @@
 ///
 /// The --corrupt mode injects one of the hand-corruption fixtures the
 /// verifier tests key on (shape-mismatch, use-before-def, dropped-barrier,
-/// cross-iteration-write, plan-overlap, plan-oob) into the compiled
-/// program before verification;
+/// cross-iteration-write, plan-overlap, plan-oob, recompute-after-use)
+/// into the compiled program before verification;
 /// with --expect CODE it exits 0 iff the verifier found errors including
 /// CODE — i.e. iff an uncorrupted lint run *would* have exited 1.
 ///
@@ -30,6 +31,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 using namespace latte;
@@ -196,6 +198,27 @@ void corruptPlanOutOfBounds(compiler::Program &Prog) {
   std::exit(2);
 }
 
+/// Moves a recompute clone AFTER its consumer (swapping the two backward
+/// units along with their task labels): the consumer now reads bytes the
+/// re-gather has not produced yet — the placement invariant the verifier
+/// pins as plan.recompute.placement.
+void corruptRecomputeAfterUse(compiler::Program &Prog) {
+  auto *Block = dyn_cast_if_present<ir::BlockStmt>(Prog.Backward.get());
+  if (!Block || Prog.Recomputes.empty()) {
+    std::fprintf(stderr,
+                 "latte-lint: no recomputed buffer to corrupt (compile a "
+                 "conv model with the recompute bit set, e.g. --mask "
+                 "0x40)\n");
+    std::exit(2);
+  }
+  const compiler::RecomputeInfo &RI = Prog.Recomputes.front();
+  std::vector<ir::StmtPtr> &Units = Block->stmts();
+  std::swap(Units[RI.BackwardUnit], Units[RI.ConsumerUnit]);
+  if (Prog.BackwardTasks.size() == Units.size())
+    std::swap(Prog.BackwardTasks[RI.BackwardUnit],
+              Prog.BackwardTasks[RI.ConsumerUnit]);
+}
+
 void applyCorruption(compiler::Program &Prog, const std::string &Kind) {
   if (Kind == "shape-mismatch")
     return corruptShapeMismatch(Prog);
@@ -209,10 +232,12 @@ void applyCorruption(compiler::Program &Prog, const std::string &Kind) {
     return corruptPlanOverlap(Prog);
   if (Kind == "plan-oob")
     return corruptPlanOutOfBounds(Prog);
+  if (Kind == "recompute-after-use")
+    return corruptRecomputeAfterUse(Prog);
   std::fprintf(stderr,
                "latte-lint: unknown corruption '%s' (shape-mismatch, "
                "use-before-def, dropped-barrier, cross-iteration-write, "
-               "plan-overlap, plan-oob)\n",
+               "plan-overlap, plan-oob, recompute-after-use)\n",
                Kind.c_str());
   std::exit(2);
 }
@@ -347,8 +372,7 @@ int main(int Argc, char **Argv) {
       TotalErrors +=
           lintPoint(Net, static_cast<unsigned>(Opt.Mask), PointOpt, ExpectMet);
     } else {
-      for (unsigned Mask = 0; Mask < (1u << verify::kNumLatticeSwitches);
-           ++Mask)
+      for (unsigned Mask : verify::sweepMasks())
         TotalErrors += lintPoint(Net, Mask, PointOpt, ExpectMet);
     }
   }
