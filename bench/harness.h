@@ -269,10 +269,15 @@ inline void fillRandom(Tensor &T, uint64_t Seed) {
   R.fillGaussian(T, 0.0f, 1.0f);
 }
 
-/// Times Latte forward/backward for one batch (min over \p Reps).
+/// Times Latte forward/backward for one batch (min over \p Reps). With
+/// Opts.Jit set, the executor's constructor compiles and loads the shared
+/// object before the timed region starts, so the reported times are
+/// steady-state dispatch cost only; \p JitActiveOut (when non-null)
+/// receives whether the module actually engaged (false = interpreter
+/// fallback, e.g. no system compiler at runtime).
 inline PassTimes timeLatte(const models::ModelSpec &Spec, int64_t Batch,
-                           const compiler::CompileOptions &Opts,
-                           int Reps = 3) {
+                           const compiler::CompileOptions &Opts, int Reps = 3,
+                           bool *JitActiveOut = nullptr) {
   core::Net Net(Batch);
   models::buildLatte(Net, Spec, /*WithLoss=*/true);
   engine::ExecOptions EO;
@@ -283,6 +288,8 @@ inline PassTimes timeLatte(const models::ModelSpec &Spec, int64_t Batch,
   // well under the noise floor of bestWallTime).
   EO.Profile = prof::enabled();
   engine::Executor Ex(compiler::compile(Net, Opts), EO);
+  if (JitActiveOut)
+    *JitActiveOut = Ex.jitActive();
   Ex.initParams(1);
   PassTimes T;
   if (const compiler::MemoryPlan &Plan = Ex.program().Plan; Plan.Valid) {

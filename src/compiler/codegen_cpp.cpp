@@ -2,12 +2,17 @@
 
 #include "compiler/codegen_cpp.h"
 
+#include "jit/jit_abi.h"
 #include "support/error.h"
 #include "support/string_utils.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <set>
 #include <sstream>
+#include <unordered_map>
 
 using namespace latte;
 using namespace latte::compiler;
@@ -922,10 +927,1076 @@ std::string CppEmitter::run() {
   return OS.str();
 }
 
+//===----------------------------------------------------------------------===//
+// JIT emission
+//===----------------------------------------------------------------------===//
+//
+// The JIT translation unit must reproduce engine::Executor::evalFloat /
+// evalInt / execStmt BITWISE, so emission is two-context:
+//
+//  * Float context (store values, decl inits, if/select conditions,
+//    compare operands): every intermediate is float, IntConst and loop
+//    variables pass through an explicit (float) cast (evalFloat does the
+//    same static_cast), float constants are hex literals of the
+//    already-rounded float value (no decimal round-trip), and Min/Max use
+//    std::min/std::max tie semantics (latte_jit_min/max below), which
+//    differ from generateCpp's `A < B ? A : B` on ±0.0 ties.
+//
+//  * Int context (indices, offsets, loop bounds, kernel expr args):
+//    int64_t arithmetic; C integer division matches evalInt.
+//
+// Parallel-annotated loops split into an explicit `if (LJ->par != 0)`
+// branch pair because the interpreter's two paths differ observably: the
+// parallel path copies the environment per iteration (outer float locals
+// become per-iteration private copies whose writes are discarded), the
+// serial path shares it. The parallel branch therefore snapshots every
+// in-scope float local before the pragma and re-declares it inside the
+// loop body — exact Env-copy semantics with or without OpenMP — while the
+// serial branch reuses the enclosing locals directly. Loops nested inside
+// a parallel branch are emitted serial outright, mirroring the
+// interpreter's AllowParallel=false propagation.
+//
+// Kernel calls normally dispatch through the ctx trampoline back into the
+// engine, executing the exact library kernels the interpreter uses. A
+// whitelisted subset instead gets a SPECIALIZED CLONE emitted into the
+// module: the library loop structure reproduced statement-for-statement
+// with every shape argument a compile-time constant, so the system
+// compiler can unroll the (tiny, now constant-bound) window loops and
+// split away the padding checks that runtime-geometry library kernels
+// re-test on every element. The whitelist is exactly the kernels whose
+// float work is data movement, comparison, or plain addition in a fixed
+// order — im2col/col2im, max pool, ReLU, bias adds, gather/scatter — for
+// which any conforming compilation is bitwise identical to the library
+// kernel: without fast-math the compiler may not reassociate, and no
+// clone contains a multiply feeding an add, so -ffp-contract=off vs the
+// host library's contraction setting cannot matter either. Kernels where
+// instruction selection can change results — Sgemm, softmax (libm +
+// reductions), Row/ColSumAdd, average pooling, sigmoid/tanh — keep the
+// trampoline.
+
+class JitEmitter {
+public:
+  explicit JitEmitter(const Program &Prog) : Prog(Prog) {
+    for (size_t I = 0; I < Prog.Buffers.size(); ++I)
+      BufIndex[Prog.Buffers[I].Name] = I;
+    for (size_t I = 0; I < Prog.IntBuffers.size(); ++I)
+      IntBufIndex[Prog.IntBuffers[I].Name] = I;
+  }
+
+  JitSource run();
+
+private:
+  void prologue();
+  void emitPass(const Stmt *Root, char PassTag, std::vector<JitTaskInfo> &Out);
+  void emitTask(const Stmt *Unit, const std::string &Symbol);
+  bool jittable(const Stmt *S) const;
+  void collectLoadStoreBuffers(const Stmt *S,
+                               std::set<std::string> &Names) const;
+  void collectExprBuffers(const Expr *E, std::set<std::string> &Names) const;
+
+  void emitStmt(const Stmt *S, int Indent);
+  void emitFor(const ForStmt *F, int Indent);
+  void emitKernel(const KernelCallStmt *K, int Indent);
+  std::string specializedKernel(const KernelCallStmt *K);
+  void emitSpecBody(KernelKind Kind, const std::vector<int64_t> &IA);
+  std::string floatExpr(const Expr *E) const;
+  std::string intExpr(const Expr *E) const;
+  std::string elemRef(const std::string &Buffer,
+                      const std::vector<ExprPtr> &Indices) const;
+
+  std::vector<std::string> visibleLocals() const {
+    std::vector<std::string> Out;
+    for (const std::vector<std::string> &Scope : Scopes)
+      Out.insert(Out.end(), Scope.begin(), Scope.end());
+    return Out;
+  }
+
+  void line(int Indent, const std::string &Text) {
+    for (int I = 0; I < Indent; ++I)
+      OS << "  ";
+    OS << Text << "\n";
+  }
+
+  const Program &Prog;
+  std::ostringstream OS;
+  /// Specialized kernel clones: (kind, int args) signature -> emitted
+  /// function name. SpecOS accumulates their definitions in first-use
+  /// order (deterministic); run() splices them ahead of the task bodies.
+  std::map<std::string, std::string> SpecCache;
+  std::ostringstream SpecOS;
+  int SpecCounter = 0;
+  std::unordered_map<std::string, size_t> BufIndex;
+  std::unordered_map<std::string, size_t> IntBufIndex;
+  /// C-visible float locals, one vector per open brace scope.
+  std::vector<std::vector<std::string>> Scopes;
+  /// True while emitting inside either branch of a parallel split: inner
+  /// parallel annotations are ignored (interpreter: AllowParallel=false in
+  /// parallel iterations; and in the serial branch par is 0 at runtime).
+  bool InParallelBody = false;
+  int Counter = 0;
+};
+
+/// Hex literal of the float the interpreter would hold — exact, no
+/// decimal round-trip ("%.9g" can double-round through parsing).
+std::string jitFloatLit(double V) {
+  float F = static_cast<float>(V);
+  if (std::isinf(F))
+    return F < 0 ? "(-INFINITY)" : "INFINITY";
+  return formatString("%a", static_cast<double>(F)) + "f";
+}
+
+std::string jitDoubleLit(double V) {
+  if (std::isinf(V))
+    return V < 0 ? "(-INFINITY)" : "INFINITY";
+  return formatString("%a", V);
+}
+
+std::string JitEmitter::intExpr(const Expr *E) const {
+  switch (E->kind()) {
+  case Expr::Kind::IntConst:
+    // Cast keeps latte_jit_min/max template deduction unambiguous against
+    // int64_t operands and forces 64-bit division semantics.
+    return "(int64_t)" + std::to_string(cast<IntConstExpr>(E)->value());
+  case Expr::Kind::Var:
+    return cast<VarExpr>(E)->name();
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    std::string L = intExpr(B->lhs()), R = intExpr(B->rhs());
+    switch (B->op()) {
+    case BinaryOpKind::Add:
+      return "(" + L + " + " + R + ")";
+    case BinaryOpKind::Sub:
+      return "(" + L + " - " + R + ")";
+    case BinaryOpKind::Mul:
+      return "(" + L + " * " + R + ")";
+    case BinaryOpKind::Div:
+      return "(" + L + " / " + R + ")";
+    case BinaryOpKind::Min:
+      return "latte_jit_min(" + L + ", " + R + ")";
+    case BinaryOpKind::Max:
+      return "latte_jit_max(" + L + ", " + R + ")";
+    }
+    latteUnreachable("unknown binary op");
+  }
+  default:
+    // evalInt would fault at runtime; an undeclared identifier turns this
+    // into a compile error and a clean interpreter fallback instead.
+    return "latte_jit_non_integer_expr";
+  }
+}
+
+std::string JitEmitter::elemRef(const std::string &Buffer,
+                                const std::vector<ExprPtr> &Indices) const {
+  const BufferInfo *B = Prog.findBuffer(Buffer);
+  assert(B && "load/store of unknown buffer");
+  std::vector<int64_t> Strides = B->Dims.strides();
+  assert(Indices.size() == Strides.size() && "index rank mismatch");
+  std::string Off = "(int64_t)0";
+  for (size_t I = 0; I < Indices.size(); ++I)
+    Off += " + " + intExpr(Indices[I].get()) + " * (int64_t)" +
+           std::to_string(Strides[I]);
+  return Buffer + "[" + Off + "]";
+}
+
+std::string JitEmitter::floatExpr(const Expr *E) const {
+  switch (E->kind()) {
+  case Expr::Kind::IntConst:
+    // evalFloat: static_cast<float>(value) — same exact conversion here.
+    return "((float)(" + std::to_string(cast<IntConstExpr>(E)->value()) +
+           "))";
+  case Expr::Kind::FloatConst:
+    return jitFloatLit(cast<FloatConstExpr>(E)->value());
+  case Expr::Kind::Var:
+    // No-op on float locals; the exact evalFloat int->float conversion on
+    // loop variables. Keeping the cast on the leaf (rather than around a
+    // whole subexpression) preserves per-operation rounding.
+    return "((float)" + cast<VarExpr>(E)->name() + ")";
+  case Expr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(E);
+    return elemRef(L->buffer(), L->indices());
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    std::string L = floatExpr(B->lhs()), R = floatExpr(B->rhs());
+    switch (B->op()) {
+    case BinaryOpKind::Add:
+      return "(" + L + " + " + R + ")";
+    case BinaryOpKind::Sub:
+      return "(" + L + " - " + R + ")";
+    case BinaryOpKind::Mul:
+      return "(" + L + " * " + R + ")";
+    case BinaryOpKind::Div:
+      return "(" + L + " / " + R + ")";
+    case BinaryOpKind::Min:
+      return "latte_jit_min(" + L + ", " + R + ")";
+    case BinaryOpKind::Max:
+      return "latte_jit_max(" + L + ", " + R + ")";
+    }
+    latteUnreachable("unknown binary op");
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    std::string V = floatExpr(U->operand());
+    switch (U->op()) {
+    case UnaryOpKind::Neg:
+      return "(-" + V + ")";
+    case UnaryOpKind::Exp:
+      return "std::exp(" + V + ")";
+    case UnaryOpKind::Log:
+      return "std::log(" + V + ")";
+    case UnaryOpKind::Tanh:
+      return "std::tanh(" + V + ")";
+    case UnaryOpKind::Sigmoid:
+      return "(1.0f / (1.0f + std::exp(-(" + V + "))))";
+    case UnaryOpKind::Sqrt:
+      return "std::sqrt(" + V + ")";
+    case UnaryOpKind::Abs:
+      return "std::fabs(" + V + ")";
+    }
+    latteUnreachable("unknown unary op");
+  }
+  case Expr::Kind::Compare: {
+    const auto *C = cast<CompareExpr>(E);
+    static const char *Ops[] = {"<", "<=", ">", ">=", "==", "!="};
+    return "((" + floatExpr(C->lhs()) + " " + Ops[static_cast<int>(C->op())] +
+           " " + floatExpr(C->rhs()) + ") ? 1.0f : 0.0f)";
+  }
+  case Expr::Kind::Select: {
+    const auto *S = cast<SelectExpr>(E);
+    return "(((" + floatExpr(S->cond()) + ") != 0.0f) ? (" +
+           floatExpr(S->trueValue()) + ") : (" +
+           floatExpr(S->falseValue()) + "))";
+  }
+  }
+  latteUnreachable("unknown expression kind");
+}
+
+bool JitEmitter::jittable(const Stmt *S) const {
+  if (!S)
+    return true;
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Child : cast<BlockStmt>(S)->stmts())
+      if (!jittable(Child.get()))
+        return false;
+    return true;
+  case Stmt::Kind::For:
+    return jittable(cast<ForStmt>(S)->body());
+  case Stmt::Kind::TiledLoop:
+    return jittable(cast<TiledLoopStmt>(S)->body());
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    return jittable(If->thenStmt()) && jittable(If->elseStmt());
+  }
+  case Stmt::Kind::KernelCall: {
+    const auto *K = cast<KernelCallStmt>(S);
+    // Dropout draws from the engine's RNG stream; the grad-sync hook needs
+    // the buffer's NAME, which the resolved trampoline ABI has dropped.
+    if (K->kernel() == KernelKind::DropoutMask ||
+        K->kernel() == KernelKind::GradSyncHook)
+      return false;
+    return K->bufs().size() <= static_cast<size_t>(jit::kMaxKernelBufs) &&
+           K->exprArgs().size() <=
+               static_cast<size_t>(jit::kMaxKernelExprArgs);
+  }
+  case Stmt::Kind::Store:
+  case Stmt::Kind::Decl:
+  case Stmt::Kind::AssignVar:
+  case Stmt::Kind::Barrier:
+    return true;
+  }
+  latteUnreachable("unknown statement kind");
+}
+
+void JitEmitter::collectExprBuffers(const Expr *E,
+                                    std::set<std::string> &Names) const {
+  switch (E->kind()) {
+  case Expr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(E);
+    Names.insert(L->buffer());
+    for (const ExprPtr &I : L->indices())
+      collectExprBuffers(I.get(), Names);
+    return;
+  }
+  case Expr::Kind::Binary:
+    collectExprBuffers(cast<BinaryExpr>(E)->lhs(), Names);
+    collectExprBuffers(cast<BinaryExpr>(E)->rhs(), Names);
+    return;
+  case Expr::Kind::Unary:
+    collectExprBuffers(cast<UnaryExpr>(E)->operand(), Names);
+    return;
+  case Expr::Kind::Compare:
+    collectExprBuffers(cast<CompareExpr>(E)->lhs(), Names);
+    collectExprBuffers(cast<CompareExpr>(E)->rhs(), Names);
+    return;
+  case Expr::Kind::Select:
+    collectExprBuffers(cast<SelectExpr>(E)->cond(), Names);
+    collectExprBuffers(cast<SelectExpr>(E)->trueValue(), Names);
+    collectExprBuffers(cast<SelectExpr>(E)->falseValue(), Names);
+    return;
+  default:
+    return;
+  }
+}
+
+void JitEmitter::collectLoadStoreBuffers(const Stmt *S,
+                                         std::set<std::string> &Names) const {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Child : cast<BlockStmt>(S)->stmts())
+      collectLoadStoreBuffers(Child.get(), Names);
+    return;
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    collectExprBuffers(F->lo(), Names);
+    collectLoadStoreBuffers(F->body(), Names);
+    return;
+  }
+  case Stmt::Kind::TiledLoop:
+    collectLoadStoreBuffers(cast<TiledLoopStmt>(S)->body(), Names);
+    return;
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    collectExprBuffers(If->cond(), Names);
+    collectLoadStoreBuffers(If->thenStmt(), Names);
+    collectLoadStoreBuffers(If->elseStmt(), Names);
+    return;
+  }
+  case Stmt::Kind::Store: {
+    const auto *St = cast<StoreStmt>(S);
+    Names.insert(St->buffer());
+    for (const ExprPtr &I : St->indices())
+      collectExprBuffers(I.get(), Names);
+    collectExprBuffers(St->value(), Names);
+    return;
+  }
+  case Stmt::Kind::Decl:
+    collectExprBuffers(cast<DeclStmt>(S)->init(), Names);
+    return;
+  case Stmt::Kind::AssignVar:
+    collectExprBuffers(cast<AssignVarStmt>(S)->value(), Names);
+    return;
+  case Stmt::Kind::KernelCall: {
+    // Kernel buffer args go through LJ->bufs indices, not named aliases;
+    // only offset / expr-arg expressions could name buffers via loads.
+    const auto *K = cast<KernelCallStmt>(S);
+    for (const KernelBufArg &A : K->bufs())
+      if (A.Offset)
+        collectExprBuffers(A.Offset.get(), Names);
+    for (const ExprPtr &E : K->exprArgs())
+      collectExprBuffers(E.get(), Names);
+    return;
+  }
+  case Stmt::Kind::Barrier:
+    return;
+  }
+  latteUnreachable("unknown statement kind");
+}
+
+/// Returns the name of the specialized clone for \p K, emitting its
+/// definition into SpecOS on first use — or "" when the kernel must keep
+/// the engine trampoline (see the whitelist rationale in the file header
+/// comment above JitEmitter).
+std::string JitEmitter::specializedKernel(const KernelCallStmt *K) {
+  KernelKind Kind = K->kernel();
+  switch (Kind) {
+  case KernelKind::Zero:
+  case KernelKind::Copy:
+  case KernelKind::AddTo:
+  case KernelKind::Gather2D:
+  case KernelKind::ScatterAdd2D:
+  case KernelKind::BiasAddCols:
+  case KernelKind::BiasAddPerRow:
+  case KernelKind::Im2ColRows:
+  case KernelKind::Col2ImRows:
+  case KernelKind::MaxPoolFwdRows:
+  case KernelKind::MaxPoolBwdRows:
+    break;
+  case KernelKind::ActFwdCols:
+    // ReLU forward is a max pattern; sigmoid/tanh go through libm and the
+    // trampoline. ReLU *backward* stays on the trampoline too: its gated
+    // accumulate is exactly the shape -fno-tree-loop-if-convert (see
+    // jit_backend.cpp baseFlags) leaves scalar, so the library's
+    // vectorized build wins.
+    if (K->intArgs().empty() ||
+        static_cast<ActOpKind>(K->intArgs()[0]) != ActOpKind::Relu)
+      return "";
+    break;
+  default:
+    return "";
+  }
+  std::string Key = std::to_string(static_cast<int64_t>(Kind));
+  for (int64_t V : K->intArgs())
+    Key += ":" + std::to_string(V);
+  auto It = SpecCache.find(Key);
+  if (It != SpecCache.end())
+    return It->second;
+  std::string Name = "latte_jit_spec_" + std::to_string(SpecCounter++);
+  SpecCache.emplace(Key, Name);
+  SpecOS << "static void " << Name
+         << "(float *const *FB, int32_t *const *IB, const int64_t *EA) {\n"
+            "  (void)IB; (void)EA;\n";
+  emitSpecBody(Kind, K->intArgs());
+  SpecOS << "}\n\n";
+  return Name;
+}
+
+/// The clone bodies. Each reproduces the corresponding library kernel
+/// (src/kernels/) statement-for-statement — same loop order, same
+/// comparison and accumulation sequence — with the IA shape arguments
+/// substituted as integer literals. Buffer pointers arrive pre-offset in
+/// FB/IB exactly as execKernelResolved would see them; EA carries the
+/// runtime row/column window origin.
+void JitEmitter::emitSpecBody(KernelKind Kind,
+                              const std::vector<int64_t> &IA) {
+  std::ostringstream &O = SpecOS;
+  auto N = [](int64_t V) { return std::to_string(V); };
+  switch (Kind) {
+  case KernelKind::Zero:
+    O << "  std::memset(FB[0], 0, " << N(IA[0]) << " * sizeof(float));\n";
+    return;
+  case KernelKind::Copy:
+    O << "  std::memcpy(FB[0], FB[1], " << N(IA[0])
+      << " * sizeof(float));\n";
+    return;
+  case KernelKind::AddTo:
+    O << "  float *Dst = FB[0];\n"
+         "  const float *Src = FB[1];\n"
+         "  for (int64_t I = 0; I < "
+      << N(IA[0]) << "; ++I)\n    Dst[I] += Src[I];\n";
+    return;
+  case KernelKind::Gather2D:
+    O << "  float *Dst = FB[0];\n"
+         "  const float *Src = FB[1];\n"
+         "  const int32_t *Table = IB[2];\n"
+         "  const int64_t Cb = EA[0];\n"
+         "  for (int64_t R = 0; R < "
+      << N(IA[0]) << "; ++R) {\n    float *D = Dst + R * " << N(IA[1])
+      << " + Cb;\n    const int32_t *T = Table + R * " << N(IA[1])
+      << " + Cb;\n    for (int64_t I = 0; I < " << N(IA[2])
+      << "; ++I) {\n      const int32_t Idx = T[I];\n"
+         "      D[I] = Idx >= 0 ? Src[Idx] : 0.0f;\n    }\n  }\n";
+    return;
+  case KernelKind::ScatterAdd2D:
+    O << "  float *Dst = FB[0];\n"
+         "  const float *Src = FB[1];\n"
+         "  const int32_t *Table = IB[2];\n"
+         "  const int64_t Cb = EA[0];\n"
+         "  for (int64_t R = 0; R < "
+      << N(IA[0]) << "; ++R) {\n    const float *S = Src + R * " << N(IA[1])
+      << " + Cb;\n    const int32_t *T = Table + R * " << N(IA[1])
+      << " + Cb;\n    for (int64_t I = 0; I < " << N(IA[2])
+      << "; ++I) {\n      const int32_t Idx = T[I];\n"
+         "      if (Idx >= 0)\n        Dst[Idx] += S[I];\n    }\n  }\n";
+    return;
+  case KernelKind::ActFwdCols:
+    // IA: {Op(=Relu), Rows, Cols, ColCount}; EA: {ColBegin}
+    O << "  float *Dst = FB[0];\n"
+         "  const float *Src = FB[1];\n"
+         "  const int64_t Cb = EA[0];\n"
+         "  for (int64_t R = 0; R < "
+      << N(IA[1]) << "; ++R) {\n    float *D = Dst + R * " << N(IA[2])
+      << " + Cb;\n    const float *S = Src + R * " << N(IA[2])
+      << " + Cb;\n    for (int64_t I = 0; I < " << N(IA[3])
+      << "; ++I)\n      D[I] = S[I] > 0.0f ? S[I] : 0.0f;\n  }\n";
+    return;
+  case KernelKind::BiasAddCols:
+    // IA: {Rows, Cols, ColCount}; EA: {ColBegin}
+    O << "  float *Dst = FB[0];\n"
+         "  const float *Bias = FB[1];\n"
+         "  const int64_t Cb = EA[0];\n"
+         "  for (int64_t R = 0; R < "
+      << N(IA[0]) << "; ++R) {\n    float *D = Dst + R * " << N(IA[1])
+      << " + Cb;\n    const float B = Bias[R];\n"
+         "    for (int64_t I = 0; I < "
+      << N(IA[2]) << "; ++I)\n      D[I] += B;\n  }\n";
+    return;
+  case KernelKind::BiasAddPerRow:
+    O << "  float *Dst = FB[0];\n"
+         "  const float *Bias = FB[1];\n"
+         "  for (int64_t R = 0; R < "
+      << N(IA[0]) << "; ++R) {\n    float *D = Dst + R * " << N(IA[1])
+      << ";\n    for (int64_t I = 0; I < " << N(IA[1])
+      << "; ++I)\n      D[I] += Bias[I];\n  }\n";
+    return;
+  case KernelKind::Im2ColRows:
+  case KernelKind::Col2ImRows: {
+    // IA: {C, H, W, K, S, Pad, RowCount}; EA: {RowBegin}.
+    //
+    // The library loops guard every element against the padding border.
+    // Those conditionals are position-dependent, so with every shape
+    // constant they resolve at emission time: each (KY, KX) slice gets a
+    // precomputed valid Y/X window, a check-free interior loop (a plain
+    // strided copy / accumulate the host compiler vectorizes without
+    // if-conversion), and explicit zero-fill (im2col) or skip (col2im)
+    // borders. Values, visit set, and accumulation order all match the
+    // library kernel — the split only removes comparisons whose outcome
+    // is known here.
+    int64_t C = IA[0], H = IA[1], W = IA[2], K = IA[3], S = IA[4],
+            P = IA[5], RC = IA[6];
+    int64_t OutH = (H + 2 * P - K) / S + 1;
+    int64_t OutW = (W + 2 * P - K) / S + 1;
+    bool Fwd = Kind == KernelKind::Im2ColRows;
+    auto CeilDiv = [](int64_t A, int64_t B) {
+      return A <= 0 ? int64_t(0) : (A + B - 1) / B;
+    };
+    O << "  const int64_t Rb = EA[0];\n"
+      << (Fwd ? "  float *Col = FB[0];\n  const float *Image = FB[1];\n"
+              : "  float *Image = FB[0];\n  const float *Col = FB[1];\n")
+      << "  const int64_t Re = Rb + " << N(RC)
+      << ";\n"
+         "  for (int64_t C = 0; C < "
+      << N(C) << "; ++C) {\n"
+      << (Fwd ? "    const float *Chan = Image + C * "
+              : "    float *Chan = Image + C * ")
+      << N(H * W) << ";\n";
+    for (int64_t KY = 0; KY < K; ++KY) {
+      for (int64_t KX = 0; KX < K; ++KX) {
+        // Output positions whose input index stays in bounds:
+        // 0 <= Y*S - P + KY < H  (and the same for X with KX).
+        int64_t YLo = std::min(OutH, CeilDiv(P - KY, S));
+        int64_t YHi = H - 1 + P - KY >= 0
+                          ? std::min(OutH, (H - 1 + P - KY) / S + 1)
+                          : YLo;
+        int64_t XLo = std::min(OutW, CeilDiv(P - KX, S));
+        int64_t XHi = W - 1 + P - KX >= 0
+                          ? std::min(OutW, (W - 1 + P - KX) / S + 1)
+                          : XLo;
+        YHi = std::max(YHi, YLo);
+        XHi = std::max(XHi, XLo);
+        O << "    { // KY=" << KY << " KX=" << KX << "\n"
+          << (Fwd ? "      float *ColRow = Col + (C * "
+                  : "      const float *ColRow = Col + (C * ")
+          << N(K * K) << " + " << N(KY * K + KX) << ") * " << N(OutH * OutW)
+          << ";\n"
+             "      const int64_t Y0 = Rb > "
+          << N(YLo) << " ? Rb : " << N(YLo)
+          << ";\n"
+             "      const int64_t Y1 = Re < "
+          << N(YHi) << " ? Re : " << N(YHi) << ";\n";
+        if (Fwd)
+          O << "      const int64_t He = Y0 < Re ? Y0 : Re;\n"
+               "      for (int64_t Y = Rb; Y < He; ++Y)\n"
+               "        for (int64_t X = 0; X < "
+            << N(OutW) << "; ++X)\n          ColRow[Y * " << N(OutW)
+            << " + X] = 0.0f;\n";
+        O << "      for (int64_t Y = Y0; Y < Y1; ++Y) {\n";
+        if (Fwd) {
+          O << "        const float *Src = Chan + (Y * " << N(S) << " + "
+            << N(KY - P) << ") * " << N(W)
+            << ";\n"
+               "        for (int64_t X = 0; X < "
+            << N(XLo) << "; ++X)\n          ColRow[Y * " << N(OutW)
+            << " + X] = 0.0f;\n"
+               "        for (int64_t X = "
+            << N(XLo) << "; X < " << N(XHi) << "; ++X)\n          ColRow[Y * "
+            << N(OutW) << " + X] = Src[X * " << N(S) << " + " << N(KX - P)
+            << "];\n"
+               "        for (int64_t X = "
+            << N(XHi) << "; X < " << N(OutW) << "; ++X)\n          ColRow[Y * "
+            << N(OutW) << " + X] = 0.0f;\n";
+        } else {
+          O << "        float *Dst = Chan + (Y * " << N(S) << " + "
+            << N(KY - P) << ") * " << N(W)
+            << ";\n"
+               "        for (int64_t X = "
+            << N(XLo) << "; X < " << N(XHi) << "; ++X)\n          Dst[X * "
+            << N(S) << " + " << N(KX - P) << "] += ColRow[Y * " << N(OutW)
+            << " + X];\n";
+        }
+        O << "      }\n";
+        if (Fwd)
+          O << "      const int64_t Te = Y1 > He ? Y1 : He;\n"
+               "      for (int64_t Y = Te; Y < Re; ++Y)\n"
+               "        for (int64_t X = 0; X < "
+            << N(OutW) << "; ++X)\n          ColRow[Y * " << N(OutW)
+            << " + X] = 0.0f;\n";
+        O << "    }\n";
+      }
+    }
+    O << "  }\n";
+    return;
+  }
+  case KernelKind::MaxPoolFwdRows: {
+    // IA: {C, H, W, K, S, Pad, RowCount}; EA: {RowBegin}. Same split idea
+    // as im2col: outputs whose pooling window lies fully inside the image
+    // get an unrolled check-free compare chain (window offsets are
+    // compile-time constants here); border outputs run the
+    // library-identical guarded loops. Each output is written
+    // independently and window elements are visited in the library's
+    // KY-then-KX order, so results are bitwise identical.
+    int64_t C = IA[0], H = IA[1], W = IA[2], K = IA[3], S = IA[4],
+            P = IA[5], RC = IA[6];
+    int64_t OutH = (H + 2 * P - K) / S + 1;
+    int64_t OutW = (W + 2 * P - K) / S + 1;
+    auto CeilDiv = [](int64_t A, int64_t B) {
+      return A <= 0 ? int64_t(0) : (A + B - 1) / B;
+    };
+    // Full-window outputs: 0 <= Y*S - P and Y*S - P + K - 1 < H.
+    int64_t YF0 = std::min(OutH, CeilDiv(P, S));
+    int64_t YF1 =
+        H + P - K >= 0 ? std::min(OutH, (H + P - K) / S + 1) : YF0;
+    YF1 = std::max(YF1, YF0);
+    int64_t XF0 = std::min(OutW, CeilDiv(P, S));
+    int64_t XF1 =
+        W + P - K >= 0 ? std::min(OutW, (W + P - K) / S + 1) : XF0;
+    XF1 = std::max(XF1, XF0);
+    // Emits the guarded per-output loop over X in [XA, XB), inside an
+    // enclosing Y loop. Identical to the library body.
+    auto CheckedX = [&](const std::string &XA, const std::string &XB) {
+      O << "        for (int64_t X = " << XA << "; X < " << XB
+        << "; ++X) {\n"
+           "          float Max = -INFINITY;\n"
+           "          int64_t ArgMax = -1;\n"
+           "          for (int64_t KY = 0; KY < "
+        << N(K) << "; ++KY) {\n            const int64_t InY = Y * " << N(S)
+        << " - " << N(P) << " + KY;\n            if (InY < 0 || InY >= "
+        << N(H) << ")\n              continue;\n"
+           "            for (int64_t KX = 0; KX < "
+        << N(K) << "; ++KX) {\n              const int64_t InX = X * "
+        << N(S) << " - " << N(P) << " + KX;\n              if (InX < 0 || "
+        << "InX >= " << N(W) << ")\n                continue;\n"
+           "              const float V = Chan[InY * "
+        << N(W) << " + InX];\n              if (V > Max) {\n"
+           "                Max = V;\n                ArgMax = C * "
+        << N(H * W) << " + InY * " << N(W) << " + InX;\n              }\n"
+           "            }\n          }\n          const int64_t Out = (C * "
+        << N(OutH) << " + Y) * " << N(OutW) << " + X;\n"
+           "          Output[Out] = Max;\n"
+           "          if (Mask)\n"
+           "            Mask[Out] = static_cast<int32_t>(ArgMax);\n"
+           "        }\n";
+    };
+    O << "  const int64_t Rb = EA[0];\n"
+         "  float *Output = FB[0];\n"
+         "  const float *Input = FB[1];\n"
+         "  int32_t *Mask = IB[2];\n"
+         "  const int64_t Re = Rb + "
+      << N(RC)
+      << ";\n"
+         "  for (int64_t C = 0; C < "
+      << N(C) << "; ++C) {\n    const float *Chan = Input + C * " << N(H * W)
+      << ";\n"
+         "    const int64_t Y0 = Rb > "
+      << N(YF0) << " ? Rb : " << N(YF0)
+      << ";\n"
+         "    const int64_t Y1 = Re < "
+      << N(YF1) << " ? Re : " << N(YF1)
+      << ";\n"
+         "    const int64_t He = Y0 < Re ? Y0 : Re;\n"
+         "    for (int64_t Y = Rb; Y < He; ++Y) {\n";
+    CheckedX("0", N(OutW));
+    O << "    }\n"
+         "    for (int64_t Y = Y0; Y < Y1; ++Y) {\n";
+    CheckedX("0", N(XF0));
+    O << "        const int64_t InY0 = Y * " << N(S) << " + " << N(-P)
+      << ";\n"
+         "        for (int64_t X = "
+      << N(XF0) << "; X < " << N(XF1)
+      << "; ++X) {\n"
+         "          const float *Win = Chan + InY0 * "
+      << N(W) << " + X * " << N(S) << " + " << N(-P)
+      << ";\n"
+         "          float Max = -INFINITY;\n"
+         "          int64_t ArgMax = -1;\n";
+    for (int64_t KY = 0; KY < K; ++KY)
+      for (int64_t KX = 0; KX < K; ++KX)
+        O << "          { const float V = Win[" << N(KY * W + KX)
+          << "];\n            if (V > Max) {\n              Max = V;\n"
+             "              ArgMax = C * "
+          << N(H * W) << " + (InY0 + " << N(KY) << ") * " << N(W)
+          << " + X * " << N(S) << " + " << N(KX - P)
+          << ";\n            } }\n";
+    O << "          const int64_t Out = (C * " << N(OutH) << " + Y) * "
+      << N(OutW)
+      << " + X;\n"
+         "          Output[Out] = Max;\n"
+         "          if (Mask)\n"
+         "            Mask[Out] = static_cast<int32_t>(ArgMax);\n"
+         "        }\n";
+    CheckedX(N(XF1), N(OutW));
+    O << "    }\n"
+         "    const int64_t Te = Y1 > He ? Y1 : He;\n"
+         "    for (int64_t Y = Te; Y < Re; ++Y) {\n";
+    CheckedX("0", N(OutW));
+    O << "    }\n  }\n";
+    return;
+  }
+  case KernelKind::MaxPoolBwdRows: {
+    // IA: {C, H, W, K, S, Pad, RowCount}; EA: {RowBegin}. Mask-driven
+    // scatter accumulate; data-dependent, so no split — the clone only
+    // bakes the trip counts.
+    int64_t H = IA[1], W = IA[2], K = IA[3], S = IA[4], P = IA[5];
+    int64_t OutH = (H + 2 * P - K) / S + 1;
+    int64_t OutW = (W + 2 * P - K) / S + 1;
+    O << "  const int64_t Rb = EA[0];\n"
+         "  float *InputGrad = FB[0];\n"
+         "  const float *OutputGrad = FB[1];\n"
+         "  const int32_t *Mask = IB[2];\n"
+         "  for (int64_t C = 0; C < "
+      << N(IA[0]) << "; ++C) {\n    for (int64_t Y = Rb; Y < Rb + "
+      << N(IA[6]) << "; ++Y) {\n      const int64_t Row = (C * " << N(OutH)
+      << " + Y) * " << N(OutW) << ";\n      for (int64_t X = 0; X < "
+      << N(OutW) << "; ++X)\n        if (Mask[Row + X] >= 0)\n"
+         "          InputGrad[Mask[Row + X]] += OutputGrad[Row + X];\n"
+         "    }\n  }\n";
+    return;
+  }
+  default:
+    latteUnreachable("kernel kind has no specialized clone");
+  }
+}
+
+void JitEmitter::emitKernel(const KernelCallStmt *K, int Indent) {
+  uint32_t IntMask = jit::kernelIntBufMask(K->kernel());
+  line(Indent, "{");
+  line(Indent + 1,
+       "float *FB[" + std::to_string(jit::kMaxKernelBufs) +
+           "] = {nullptr, nullptr, nullptr, nullptr};");
+  line(Indent + 1,
+       "int32_t *IB[" + std::to_string(jit::kMaxKernelBufs) +
+           "] = {nullptr, nullptr, nullptr, nullptr};");
+  for (size_t I = 0; I < K->bufs().size(); ++I) {
+    const KernelBufArg &A = K->bufs()[I];
+    std::string Off =
+        A.Offset ? " + (" + intExpr(A.Offset.get()) + ")" : "";
+    if (IntMask & (1u << I)) {
+      auto It = IntBufIndex.find(A.Buffer);
+      assert(It != IntBufIndex.end() && "unknown int buffer in kernel call");
+      line(Indent + 1, "IB[" + std::to_string(I) + "] = LJ->ibufs[" +
+                           std::to_string(It->second) + "]" + Off + "; // " +
+                           A.Buffer);
+    } else {
+      auto It = BufIndex.find(A.Buffer);
+      assert(It != BufIndex.end() && "unknown buffer in kernel call");
+      line(Indent + 1, "FB[" + std::to_string(I) + "] = LJ->bufs[" +
+                           std::to_string(It->second) + "]" + Off + "; // " +
+                           A.Buffer);
+    }
+  }
+  std::vector<std::string> Parts;
+  std::string Spec = specializedKernel(K);
+  if (Spec.empty()) {
+    // Empty C arrays are illegal; pad with one zero entry.
+    for (int64_t V : K->intArgs())
+      Parts.push_back(std::to_string(V));
+    if (Parts.empty())
+      Parts.push_back("0");
+    line(Indent + 1, "static const int64_t IA_[] = {" + join(Parts, ", ") +
+                         "};");
+    Parts.clear();
+    for (double V : K->floatArgs())
+      Parts.push_back(jitDoubleLit(V));
+    if (Parts.empty())
+      Parts.push_back("0");
+    line(Indent + 1, "static const double FA_[] = {" + join(Parts, ", ") +
+                         "};");
+    Parts.clear();
+  }
+  for (const ExprPtr &E : K->exprArgs())
+    Parts.push_back(intExpr(E.get()));
+  if (Parts.empty())
+    Parts.push_back("0");
+  line(Indent + 1, "const int64_t EA_[] = {" + join(Parts, ", ") + "};");
+  if (!Spec.empty())
+    // Shape constants are baked into the clone; only pointers and the
+    // runtime window origin cross the call.
+    line(Indent + 1, Spec + "(FB, IB, EA_);");
+  else
+    line(Indent + 1,
+         "LJ->kernel(LJ->self, " +
+             std::to_string(static_cast<int64_t>(K->kernel())) +
+             ", FB, IB, IA_, FA_, EA_);");
+  line(Indent, "}");
+}
+
+void JitEmitter::emitFor(const ForStmt *F, int Indent) {
+  int Id = Counter++;
+  std::string Lo = "_lo" + std::to_string(Id);
+  line(Indent, "const int64_t " + Lo + " = " + intExpr(F->lo()) + ";");
+  std::string Var = F->var();
+  std::string Bound =
+      Lo + " + (int64_t)" + std::to_string(F->extent());
+  auto SerialHeader = [&](int Ind) {
+    line(Ind, "for (int64_t " + Var + " = " + Lo + "; " + Var + " < " +
+                  Bound + "; ++" + Var + ") {");
+  };
+
+  bool Par = F->annotations().Parallel && !InParallelBody;
+  const TiledLoopStmt *Collapsed = nullptr;
+  if (Par && F->annotations().Collapse == 2)
+    if (const auto *Body = dyn_cast<BlockStmt>(F->body()))
+      if (Body->stmts().size() == 1)
+        Collapsed = dyn_cast<TiledLoopStmt>(Body->stmts()[0].get());
+
+  auto EmitBody = [&](const Stmt *Body, int Ind) {
+    bool Saved = InParallelBody;
+    InParallelBody = InParallelBody || Par;
+    Scopes.emplace_back();
+    emitStmt(Body, Ind);
+    Scopes.pop_back();
+    InParallelBody = Saved;
+  };
+
+  if (Par && Collapsed) {
+    // Interpreter collapsed path: flatten batch x tile; iteration order of
+    // the flattened loop equals the nested serial order, so the serial
+    // branch below keeps the nested form.
+    int64_t Tiles = Collapsed->numTiles();
+    int64_t Total = F->extent() * Tiles;
+    std::string Lf = "_lf" + std::to_string(Id);
+    std::vector<std::string> Snaps = visibleLocals();
+    line(Indent, "if (LJ->par != 0) {");
+    for (const std::string &V : Snaps)
+      line(Indent + 1, "const float _snap" + std::to_string(Id) + "_" + V +
+                           " = " + V + ";");
+    line(Indent + 1, "#pragma omp parallel for schedule(static, 1)");
+    line(Indent + 1, "for (int64_t " + Lf + " = 0; " + Lf + " < (int64_t)" +
+                         std::to_string(Total) + "; ++" + Lf + ") {");
+    line(Indent + 2, "int64_t " + Var + " = " + Lo + " + " + Lf +
+                         " / (int64_t)" + std::to_string(Tiles) + ";");
+    line(Indent + 2, "int64_t " + Collapsed->tileVar() + " = " + Lf +
+                         " % (int64_t)" + std::to_string(Tiles) + ";");
+    // Per-iteration Env copy: fresh private float locals each iteration.
+    for (const std::string &V : Snaps)
+      line(Indent + 2,
+           "float " + V + " = _snap" + std::to_string(Id) + "_" + V + ";");
+    line(Indent + 2, "{");
+    EmitBody(Collapsed->body(), Indent + 3);
+    line(Indent + 2, "}");
+    line(Indent + 1, "}");
+    line(Indent, "} else {");
+    SerialHeader(Indent + 1);
+    line(Indent + 2, "for (int64_t " + Collapsed->tileVar() + " = 0; " +
+                         Collapsed->tileVar() + " < (int64_t)" +
+                         std::to_string(Tiles) + "; ++" +
+                         Collapsed->tileVar() + ") {");
+    EmitBody(Collapsed->body(), Indent + 3);
+    line(Indent + 2, "}");
+    line(Indent + 1, "}");
+    line(Indent, "}");
+    return;
+  }
+
+  if (Par && F->extent() > 1) {
+    std::vector<std::string> Snaps = visibleLocals();
+    line(Indent, "if (LJ->par != 0) {");
+    for (const std::string &V : Snaps)
+      line(Indent + 1, "const float _snap" + std::to_string(Id) + "_" + V +
+                           " = " + V + ";");
+    line(Indent + 1, "#pragma omp parallel for schedule(static, 1)");
+    SerialHeader(Indent + 1);
+    for (const std::string &V : Snaps)
+      line(Indent + 2,
+           "float " + V + " = _snap" + std::to_string(Id) + "_" + V + ";");
+    line(Indent + 2, "{");
+    EmitBody(F->body(), Indent + 3);
+    line(Indent + 2, "}");
+    line(Indent + 1, "}");
+    line(Indent, "} else {");
+    SerialHeader(Indent + 1);
+    EmitBody(F->body(), Indent + 2);
+    line(Indent + 1, "}");
+    line(Indent, "}");
+    return;
+  }
+
+  SerialHeader(Indent);
+  Scopes.emplace_back();
+  emitStmt(F->body(), Indent + 1);
+  Scopes.pop_back();
+  line(Indent, "}");
+}
+
+void JitEmitter::emitStmt(const Stmt *S, int Indent) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Block: {
+    const auto *B = cast<BlockStmt>(S);
+    if (!B->label().empty())
+      line(Indent, "// " + B->label());
+    // No braces: interpreter Decls outlive their Block (matches
+    // generateCpp's treatment).
+    for (const StmtPtr &Child : B->stmts())
+      emitStmt(Child.get(), Indent);
+    return;
+  }
+  case Stmt::Kind::For:
+    emitFor(cast<ForStmt>(S), Indent);
+    return;
+  case Stmt::Kind::TiledLoop: {
+    const auto *T = cast<TiledLoopStmt>(S);
+    line(Indent, "for (int64_t " + T->tileVar() + " = 0; " + T->tileVar() +
+                     " < (int64_t)" + std::to_string(T->numTiles()) + "; ++" +
+                     T->tileVar() + ") {");
+    Scopes.emplace_back();
+    emitStmt(T->body(), Indent + 1);
+    Scopes.pop_back();
+    line(Indent, "}");
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    line(Indent, "if ((" + floatExpr(If->cond()) + ") != 0.0f) {");
+    Scopes.emplace_back();
+    emitStmt(If->thenStmt(), Indent + 1);
+    Scopes.pop_back();
+    if (If->elseStmt()) {
+      line(Indent, "} else {");
+      Scopes.emplace_back();
+      emitStmt(If->elseStmt(), Indent + 1);
+      Scopes.pop_back();
+    }
+    line(Indent, "}");
+    return;
+  }
+  case Stmt::Kind::Store: {
+    const auto *St = cast<StoreStmt>(S);
+    std::string Target = elemRef(St->buffer(), St->indices());
+    std::string Value = floatExpr(St->value());
+    switch (St->op()) {
+    case AccumKind::Assign:
+      line(Indent, Target + " = " + Value + ";");
+      return;
+    case AccumKind::AddAssign:
+      line(Indent, Target + " += " + Value + ";");
+      return;
+    case AccumKind::MulAssign:
+      line(Indent, Target + " *= " + Value + ";");
+      return;
+    case AccumKind::MaxAssign:
+      line(Indent, Target + " = latte_jit_max(" + Target + ", " + Value +
+                       ");");
+      return;
+    case AccumKind::MinAssign:
+      line(Indent, Target + " = latte_jit_min(" + Target + ", " + Value +
+                       ");");
+      return;
+    }
+    latteUnreachable("unknown accumulation kind");
+  }
+  case Stmt::Kind::Decl: {
+    const auto *D = cast<DeclStmt>(S);
+    line(Indent, "float " + D->name() + " = " + floatExpr(D->init()) + ";");
+    if (!Scopes.empty())
+      Scopes.back().push_back(D->name());
+    return;
+  }
+  case Stmt::Kind::AssignVar: {
+    const auto *A = cast<AssignVarStmt>(S);
+    std::string Value = floatExpr(A->value());
+    switch (A->op()) {
+    case AccumKind::Assign:
+      line(Indent, A->name() + " = " + Value + ";");
+      return;
+    case AccumKind::AddAssign:
+      line(Indent, A->name() + " += " + Value + ";");
+      return;
+    case AccumKind::MulAssign:
+      line(Indent, A->name() + " *= " + Value + ";");
+      return;
+    case AccumKind::MaxAssign:
+      line(Indent, A->name() + " = latte_jit_max(" + A->name() + ", " +
+                       Value + ");");
+      return;
+    case AccumKind::MinAssign:
+      line(Indent, A->name() + " = latte_jit_min(" + A->name() + ", " +
+                       Value + ");");
+      return;
+    }
+    latteUnreachable("unknown accumulation kind");
+  }
+  case Stmt::Kind::KernelCall:
+    emitKernel(cast<KernelCallStmt>(S), Indent);
+    return;
+  case Stmt::Kind::Barrier:
+    line(Indent, "// fusion barrier: " + cast<BarrierStmt>(S)->reason());
+    return;
+  }
+  latteUnreachable("unknown statement kind");
+}
+
+void JitEmitter::emitTask(const Stmt *Unit, const std::string &Symbol) {
+  OS << "extern \"C\" void " << Symbol << "(LatteJitCtx *LJ) {\n"
+     << "  (void)LJ;\n";
+  // Named aliases for the buffers this unit loads/stores directly, in
+  // Program declaration order (deterministic).
+  std::set<std::string> Referenced;
+  collectLoadStoreBuffers(Unit, Referenced);
+  for (const BufferInfo &B : Prog.Buffers)
+    if (Referenced.count(B.Name))
+      OS << "  float *" << B.Name << " = LJ->bufs[" << BufIndex.at(B.Name)
+         << "]; // " << B.Dims.str() << "\n";
+  Scopes.clear();
+  Scopes.emplace_back();
+  InParallelBody = false;
+  emitStmt(Unit, 1);
+  OS << "}\n\n";
+}
+
+void JitEmitter::prologue() {
+  OS << "// Latte JIT module: loop nests and kernel dispatch for one\n"
+        "// compiled program. Reassociation-sensitive kernels execute in\n"
+        "// the engine via the ctx trampoline; whitelisted data-movement\n"
+        "// kernels run as shape-specialized clones below. Deterministic\n"
+        "// emission (content-hashed for the on-disk module cache).\n"
+        "#include <cmath>\n#include <cstdint>\n#include <cstring>\n\n";
+  OS << jit::ctxStructSource();
+  // std::min/std::max tie semantics (the interpreter's evalFloat and
+  // applyAccum use std::min/std::max, which return the FIRST argument on
+  // ties — observable with signed zeros).
+  OS << "\ntemplate <typename T> static inline T latte_jit_min(T A, T B) "
+        "{ return (B < A) ? B : A; }\n"
+        "template <typename T> static inline T latte_jit_max(T A, T B) "
+        "{ return (A < B) ? B : A; }\n\n"
+        "extern \"C\" int64_t latte_jit_abi_version() { return "
+     << jit::kLatteJitAbiVersion << "; }\n\n";
+}
+
+void JitEmitter::emitPass(const Stmt *Root, char PassTag,
+                          std::vector<JitTaskInfo> &Out) {
+  // Only a top-level Block decomposes into per-unit entry points; other
+  // roots (hand-built test programs) take the interpreter wholesale.
+  const auto *B = dyn_cast_if_present<const BlockStmt>(Root);
+  if (!B)
+    return;
+  for (size_t I = 0; I < B->stmts().size(); ++I) {
+    JitTaskInfo Info;
+    if (jittable(B->stmts()[I].get())) {
+      Info.Jittable = true;
+      Info.Symbol =
+          std::string("latte_task_") + PassTag + std::to_string(I);
+      emitTask(B->stmts()[I].get(), Info.Symbol);
+    }
+    Out.push_back(std::move(Info));
+  }
+}
+
+JitSource JitEmitter::run() {
+  JitSource JS;
+  prologue();
+  std::string Prologue = OS.str();
+  OS.str("");
+  emitPass(Prog.Forward.get(), 'f', JS.Forward);
+  emitPass(Prog.Backward.get(), 'b', JS.Backward);
+  // Specialized kernel clones are discovered while the tasks are emitted
+  // but must precede them in the translation unit.
+  JS.Source = Prologue + SpecOS.str() + OS.str();
+  return JS;
+}
+
 } // namespace
 
 std::string compiler::generateCpp(const Program &Prog) {
   CppEmitter E(Prog);
+  return E.run();
+}
+
+JitSource compiler::generateJitSource(const Program &Prog) {
+  JitEmitter E(Prog);
   return E.run();
 }
 

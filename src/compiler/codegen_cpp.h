@@ -14,6 +14,12 @@
 /// back) so tests can compile it with the host compiler and validate it
 /// numerically against the in-process engine.
 ///
+/// Both emitters are deterministic functions of the Program: no
+/// timestamps, no pointer-keyed iteration, symbol names derived from unit
+/// position only. generateJitSource additionally serves as a content-hash
+/// cache key (jit::hashSource), so byte-stability across emissions of the
+/// same program is load-bearing, not cosmetic — codegen_test pins it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LATTE_COMPILER_CODEGEN_CPP_H
@@ -22,6 +28,7 @@
 #include "compiler/program.h"
 
 #include <string>
+#include <vector>
 
 namespace latte {
 namespace compiler {
@@ -32,6 +39,32 @@ std::string generateCpp(const Program &Prog);
 
 /// Writes generateCpp(Prog) to \p Path. Returns false on I/O failure.
 bool writeGeneratedProgram(const Program &Prog, const std::string &Path);
+
+/// One top-level unit of a pass in the JIT translation unit.
+struct JitTaskInfo {
+  /// Generated entry point ("latte_task_f3") — empty when not jittable.
+  std::string Symbol;
+  /// False when the unit needs the interpreter (dropout draws from the
+  /// engine's RNG; grad-sync hooks need the buffer name).
+  bool Jittable = false;
+};
+
+/// A translation unit for the in-process JIT (jit::JitModule) plus the
+/// per-unit dispatch tables the engine indexes by unit position.
+struct JitSource {
+  std::string Source;
+  std::vector<JitTaskInfo> Forward;
+  std::vector<JitTaskInfo> Backward;
+};
+
+/// Renders \p Prog as a JIT translation unit: one `extern "C"` function
+/// per jittable top-level unit, reading buffer storage and re-entering the
+/// engine's kernels through the LatteJitCtx trampoline (jit/jit_abi.h).
+/// Unlike generateCpp this emits no kernel bodies, no storage and no
+/// driver — only the loop-nest / dispatch scaffolding — which is what
+/// makes JIT-on vs interpreted execution bitwise identical: the same
+/// kernel functions run in the same order either way.
+JitSource generateJitSource(const Program &Prog);
 
 } // namespace compiler
 } // namespace latte

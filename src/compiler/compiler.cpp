@@ -50,6 +50,9 @@ Program compiler::compile(const core::Net &Net, const CompileOptions &Opts) {
     prof::ScopedTimer T("memplan");
     Prog.Plan = planMemory(Prog);
   }
+  // Not a transforming pass — just tells the engine to build the JIT
+  // dispatch table for this program.
+  Prog.Jit = Opts.Jit;
   if (verifyEachEnabled(Opts)) {
     prof::ScopedTimer T("verify-each");
     analyze::DiagnosticReport R = analyze::verifyProgram(Prog);

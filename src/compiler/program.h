@@ -154,6 +154,11 @@ struct Program {
   /// then allocate eagerly per buffer.
   MemoryPlan Plan;
 
+  /// Carried from CompileOptions::Jit: the engine should compile this
+  /// program's tasks to native code (src/jit) and dispatch through the
+  /// loaded module, falling back per task to the interpreter.
+  bool Jit = false;
+
   const BufferInfo *findBuffer(const std::string &Name) const {
     for (const BufferInfo &B : Buffers)
       if (B.Name == Name)
@@ -197,6 +202,12 @@ struct CompileOptions {
   /// them across the forward/backward boundary (compiler/recompute.h) —
   /// the sublinear-memory trade: less arena, a re-gather per backward.
   bool Recompute = true;
+  /// Execute tasks through the in-process JIT backend (src/jit): generated
+  /// loop nests compiled to a shared object, kernels still dispatched into
+  /// the engine, per-task interpreter fallback. Lattice bit 7 in the
+  /// verification sweep. Off by default — purely a steady-state speed
+  /// lever, bitwise-identical results either way.
+  bool Jit = false;
   int64_t TileSize = 8;      ///< target tile extent along y
   /// Cost-model threshold: layers whose spatial row extent is below this
   /// are left untiled (the paper's §7.1.2 observation — tiling loses its

@@ -2,6 +2,7 @@
 
 #include "engine/executor.h"
 
+#include "compiler/codegen_cpp.h"
 #include "kernels/elementwise.h"
 #include "kernels/gemm.h"
 #include "kernels/pooling.h"
@@ -146,7 +147,88 @@ Executor::Executor(Program TheProg, ExecOptions Opts)
   };
   CheckLabels(Prog.Forward.get(), Prog.ForwardTasks, "forward");
   CheckLabels(Prog.Backward.get(), Prog.BackwardTasks, "backward");
+  setupJit();
   initParams(Opts.Seed);
+}
+
+//===----------------------------------------------------------------------===//
+// JIT integration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The kernel trampoline generated code calls back through (its address is
+/// planted in LatteJitCtx::kernel; generated code never names it). Plain
+/// function with the exact ABI signature, casting the opaque self pointer
+/// back to the executor.
+void latteJitKernelBridge(void *Self, int64_t Kind, float **FB, int32_t **IB,
+                          const int64_t *IA, const double *FA,
+                          const int64_t *EA) {
+  static_cast<Executor *>(Self)->execKernelResolved(
+      static_cast<KernelKind>(Kind), FB, IB, IA, FA, EA);
+}
+
+} // namespace
+
+void Executor::setupJit() {
+  if (!Prog.Jit || Opts.NoJit)
+    return;
+  if (!jit::available(&JitDiag))
+    return;
+  compiler::JitSource JS = compiler::generateJitSource(Prog);
+  JitMod = jit::JitModule::getOrCreate(JS.Source, &JitDiag);
+  if (!JitMod)
+    return; // compile/load failed; JitDiag has the reason, interpret all
+  auto Resolve = [&](const std::vector<compiler::JitTaskInfo> &Infos,
+                     std::vector<jit::TaskFn> &Out) {
+    for (const compiler::JitTaskInfo &Info : Infos)
+      // A jittable task whose symbol is somehow absent falls back too.
+      Out.push_back(Info.Jittable ? JitMod->symbol(Info.Symbol) : nullptr);
+  };
+  Resolve(JS.Forward, JitFwd);
+  Resolve(JS.Backward, JitBwd);
+  // Alias-resolved storage pointers in Program declaration order — the
+  // indices generated code embeds. Heap storage (Arena / Storage / the
+  // int-buffer vectors) is pointer-stable across Executor moves, so these
+  // snapshots stay valid; only the views below are refreshed per pass.
+  for (const BufferInfo &B : Prog.Buffers)
+    CtxBufs.push_back(Buffers.at(B.Name).Data);
+  for (const IntBufferInfo &B : Prog.IntBuffers)
+    CtxIbufs.push_back(IntBuffers.at(B.Name).data());
+  for (jit::TaskFn Fn : JitFwd)
+    JitActive |= Fn != nullptr;
+  for (jit::TaskFn Fn : JitBwd)
+    JitActive |= Fn != nullptr;
+  if (!JitActive && JitDiag.empty())
+    JitDiag = "no jittable tasks in this program";
+}
+
+void Executor::refreshJitCtx() {
+  JitCtx.self = this;
+  JitCtx.bufs = CtxBufs.data();
+  JitCtx.ibufs = CtxIbufs.data();
+  JitCtx.par = 0;
+  JitCtx.kernel = &latteJitKernelBridge;
+}
+
+int Executor::jitTaskCount() const {
+  int N = 0;
+  for (jit::TaskFn Fn : JitFwd)
+    N += Fn != nullptr;
+  for (jit::TaskFn Fn : JitBwd)
+    N += Fn != nullptr;
+  return N;
+}
+
+int Executor::jitFallbackCount() const {
+  if (!JitActive)
+    return 0;
+  int N = 0;
+  for (jit::TaskFn Fn : JitFwd)
+    N += Fn == nullptr;
+  for (jit::TaskFn Fn : JitBwd)
+    N += Fn == nullptr;
+  return N;
 }
 
 const Executor::BufferRT &Executor::buffer(const std::string &Name) const {
@@ -251,18 +333,21 @@ void Executor::forward() {
   }
   Env E;
   E.AllowParallel = Opts.Parallel;
+  const std::vector<jit::TaskFn> *Fns = JitActive ? &JitFwd : nullptr;
+  if (JitActive)
+    refreshJitCtx();
   if (Opts.Profile && prof::enabled()) {
     prof::ScopedPhase Phase("forward");
     prof::ScopedTimer Whole("forward");
     ProfActive = true;
     execProgram(Prog.Forward.get(), Prog.ForwardTasks, E, /*Profiled=*/true,
-                /*GlobalBase=*/0);
+                /*GlobalBase=*/0, Fns);
     ProfActive = false;
     return;
   }
-  if (PlanActive) {
+  if (PlanActive || JitActive) {
     execProgram(Prog.Forward.get(), Prog.ForwardTasks, E, /*Profiled=*/false,
-                /*GlobalBase=*/0);
+                /*GlobalBase=*/0, Fns);
     return;
   }
   execStmt(Prog.Forward.get(), E);
@@ -286,18 +371,21 @@ void Executor::backward() {
   E.AllowParallel =
       Opts.Parallel && Opts.LossyGradients && !Opts.Deterministic;
   const int Base = Prog.Plan.NumForwardUnits;
+  const std::vector<jit::TaskFn> *Fns = JitActive ? &JitBwd : nullptr;
+  if (JitActive)
+    refreshJitCtx();
   if (Opts.Profile && prof::enabled()) {
     prof::ScopedPhase Phase("backward");
     prof::ScopedTimer Whole("backward");
     ProfActive = true;
     execProgram(Prog.Backward.get(), Prog.BackwardTasks, E,
-                /*Profiled=*/true, /*GlobalBase=*/Base);
+                /*Profiled=*/true, /*GlobalBase=*/Base, Fns);
     ProfActive = false;
     return;
   }
-  if (PlanActive) {
+  if (PlanActive || JitActive) {
     execProgram(Prog.Backward.get(), Prog.BackwardTasks, E,
-                /*Profiled=*/false, /*GlobalBase=*/Base);
+                /*Profiled=*/false, /*GlobalBase=*/Base, Fns);
     return;
   }
   execStmt(Prog.Backward.get(), E);
@@ -602,13 +690,16 @@ void Executor::execStmt(const Stmt *S, Env &E) {
 
 void Executor::execProgram(const Stmt *Root,
                            const std::vector<compiler::TaskLabel> &Labels,
-                           Env &E, bool Profiled, int GlobalBase) {
+                           Env &E, bool Profiled, int GlobalBase,
+                           const std::vector<jit::TaskFn> *Fns) {
   const auto *B = dyn_cast_if_present<const BlockStmt>(Root);
   if (!B) {
     if (Root)
       execStmt(Root, E);
     return;
   }
+  if (Fns)
+    JitCtx.par = E.AllowParallel ? 1 : 0;
   const std::vector<StmtPtr> &Stmts = B->stmts();
   for (size_t I = 0; I < Stmts.size(); ++I) {
     if (PlanActive) {
@@ -622,8 +713,14 @@ void Executor::execProgram(const Stmt *Root,
           kernels::zero(RT.Data, RT.Count);
         }
     }
+    // JIT dispatch table: a non-null entry replaces interpretation of
+    // this unit (kernels still run engine-side via the trampoline).
+    jit::TaskFn Fn = Fns && I < Fns->size() ? (*Fns)[I] : nullptr;
     if (!Profiled) {
-      execStmt(Stmts[I].get(), E);
+      if (Fn)
+        Fn(&JitCtx);
+      else
+        execStmt(Stmts[I].get(), E);
       continue;
     }
     // Hand-built programs (engine tests) carry no labels; fall back to the
@@ -632,16 +729,18 @@ void Executor::execProgram(const Stmt *Root,
                            ? Labels[I].Name
                            : "task#" + std::to_string(I);
     prof::ScopedTimer T(std::move(Name));
-    execStmt(Stmts[I].get(), E);
+    if (Fn)
+      Fn(&JitCtx);
+    else
+      execStmt(Stmts[I].get(), E);
     prof::count(prof::Counter::TasksExecuted, 1);
   }
 }
 
-void Executor::profileKernel(const KernelCallStmt *K) const {
+void Executor::profileKernel(KernelKind Kind, const int64_t *IA) const {
   using prof::Counter;
   prof::count(Counter::KernelCalls, 1);
-  const std::vector<int64_t> &IA = K->intArgs();
-  switch (K->kernel()) {
+  switch (Kind) {
   case KernelKind::Sgemm: {
     // ints: {M, N, K, ...} — one multiply-add per inner-product element.
     uint64_t MNK = static_cast<uint64_t>(IA[0]) *
@@ -691,25 +790,55 @@ void Executor::profileKernel(const KernelCallStmt *K) const {
 }
 
 void Executor::execKernel(const KernelCallStmt *K, Env &E) {
-  if (ProfActive)
-    profileKernel(K);
-  // Resolve float buffer pointers (int buffers are resolved per kind).
-  auto FloatArg = [&](size_t I) -> float * {
+  // GradSyncHook needs the buffer's NAME (the hook callback signature),
+  // which the resolved form below has dropped — handle it pre-resolution.
+  // Such units are never JIT-compiled, so the resolved path can't see it.
+  if (K->kernel() == KernelKind::GradSyncHook) {
+    if (ProfActive)
+      profileKernel(K->kernel(), K->intArgs().data());
+    if (Hook_) {
+      const KernelBufArg &A = K->bufs()[0];
+      int64_t Off = A.Offset ? evalInt(A.Offset.get(), E) : 0;
+      Hook_(A.Buffer, buffer(A.Buffer).Data + Off, K->intArgs()[0]);
+    }
+    return;
+  }
+  // Resolve every argument eagerly, then run the shared dispatch — the
+  // same entry the JIT's kernel trampoline calls, so both paths are one
+  // code path from here on (bitwise identity by construction).
+  assert(K->bufs().size() <= static_cast<size_t>(jit::kMaxKernelBufs) &&
+         "kernel has more buffer args than the resolved ABI carries");
+  assert(K->exprArgs().size() <=
+             static_cast<size_t>(jit::kMaxKernelExprArgs) &&
+         "kernel has more expr args than the resolved ABI carries");
+  float *FB[jit::kMaxKernelBufs] = {nullptr, nullptr, nullptr, nullptr};
+  int32_t *IB[jit::kMaxKernelBufs] = {nullptr, nullptr, nullptr, nullptr};
+  uint32_t IntMask = jit::kernelIntBufMask(K->kernel());
+  for (size_t I = 0; I < K->bufs().size(); ++I) {
     const KernelBufArg &A = K->bufs()[I];
     int64_t Off = A.Offset ? evalInt(A.Offset.get(), E) : 0;
-    return buffer(A.Buffer).Data + Off;
-  };
-  auto IntArg = [&](size_t I) -> int32_t * {
-    const KernelBufArg &A = K->bufs()[I];
-    int64_t Off = A.Offset ? evalInt(A.Offset.get(), E) : 0;
-    return intBuffer(A.Buffer) + Off;
-  };
-  const std::vector<int64_t> &IA = K->intArgs();
-  auto ExprArg = [&](size_t I) -> int64_t {
-    return evalInt(K->exprArgs()[I].get(), E);
-  };
+    if (IntMask & (1u << I))
+      IB[I] = intBuffer(A.Buffer) + Off;
+    else
+      FB[I] = buffer(A.Buffer).Data + Off;
+  }
+  int64_t EA[jit::kMaxKernelExprArgs] = {0, 0};
+  for (size_t I = 0; I < K->exprArgs().size(); ++I)
+    EA[I] = evalInt(K->exprArgs()[I].get(), E);
+  execKernelResolved(K->kernel(), FB, IB, K->intArgs().data(),
+                     K->floatArgs().data(), EA);
+}
 
-  switch (K->kernel()) {
+void Executor::execKernelResolved(KernelKind Kind, float *const *FB,
+                                  int32_t *const *IB, const int64_t *IA,
+                                  const double *FA, const int64_t *EA) {
+  if (ProfActive)
+    profileKernel(Kind, IA);
+  auto FloatArg = [&](size_t I) -> float * { return FB[I]; };
+  auto IntArg = [&](size_t I) -> int32_t * { return IB[I]; };
+  auto ExprArg = [&](size_t I) -> int64_t { return EA[I]; };
+
+  switch (Kind) {
   case KernelKind::Zero:
     kernels::zero(FloatArg(0), IA[0]);
     return;
@@ -726,8 +855,7 @@ void Executor::execKernel(const KernelCallStmt *K, Env &E) {
     kernels::mulAddTo(FloatArg(0), FloatArg(1), FloatArg(2), IA[0]);
     return;
   case KernelKind::Scale:
-    kernels::scale(FloatArg(0), static_cast<float>(K->floatArgs()[0]),
-                   IA[0]);
+    kernels::scale(FloatArg(0), static_cast<float>(FA[0]), IA[0]);
     return;
   case KernelKind::Sgemm: {
     // ints: {M, N, K, LdA, LdB, LdC, TransA, TransB, Accumulate}
@@ -864,7 +992,7 @@ void Executor::execKernel(const KernelCallStmt *K, Env &E) {
     G.StrideH = G.StrideW = IA[4];
     G.PadH = G.PadW = IA[5];
     int64_t Rc = IA[6], Rb = ExprArg(0);
-    if (K->kernel() == KernelKind::Im2ColRows)
+    if (Kind == KernelKind::Im2ColRows)
       kernels::im2colRows(FloatArg(1), G, FloatArg(0), Rb, Rc);
     else
       kernels::col2imRows(FloatArg(1), G, FloatArg(0), Rb, Rc);
@@ -883,7 +1011,7 @@ void Executor::execKernel(const KernelCallStmt *K, Env &E) {
     G.StrideH = G.StrideW = IA[4];
     G.PadH = G.PadW = IA[5];
     int64_t Rc = IA[6], Rb = ExprArg(0);
-    switch (K->kernel()) {
+    switch (Kind) {
     case KernelKind::MaxPoolFwdRows:
       kernels::maxPoolFwdRows(FloatArg(1), G, FloatArg(0), IntArg(2), Rb,
                               Rc);
@@ -925,7 +1053,7 @@ void Executor::execKernel(const KernelCallStmt *K, Env &E) {
   }
   case KernelKind::SoftmaxLossBwd: {
     int64_t Rows = IA[0], Classes = IA[1];
-    float Scale = static_cast<float>(K->floatArgs()[0]);
+    float Scale = static_cast<float>(FA[0]);
     float *Grad = FloatArg(0);
     const float *Prob = FloatArg(1);
     const float *Labels = FloatArg(2);
@@ -954,18 +1082,17 @@ void Executor::execKernel(const KernelCallStmt *K, Env &E) {
   }
   case KernelKind::DropoutMask: {
     int64_t Count = IA[0];
-    float Keep = static_cast<float>(K->floatArgs()[0]);
+    float Keep = static_cast<float>(FA[0]);
     float *Mask = FloatArg(0);
     float Inv = Keep > 0.0f ? 1.0f / Keep : 0.0f;
     for (int64_t I = 0; I < Count; ++I)
       Mask[I] = DropoutRng.uniform() < Keep ? Inv : 0.0f;
     return;
   }
-  case KernelKind::GradSyncHook: {
-    if (Hook_)
-      Hook_(K->bufs()[0].Buffer, FloatArg(0), IA[0]);
+  case KernelKind::GradSyncHook:
+    // Needs the buffer name; execKernel intercepts it before resolution
+    // and the JIT never compiles units containing it.
     return;
-  }
   }
   latteUnreachable("unknown kernel kind");
 }

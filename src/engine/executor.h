@@ -14,11 +14,13 @@
 #define LATTE_ENGINE_EXECUTOR_H
 
 #include "compiler/program.h"
+#include "jit/jit_backend.h"
 #include "support/rng.h"
 #include "support/tensor.h"
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +60,11 @@ struct ExecOptions {
   /// (verify::runLattice) sets this — it inspects interval-allocated
   /// gradients whose bytes the plan legitimately reuses.
   bool NoMemPlan = false;
+  /// Ignore Program::Jit and interpret everything — the differential
+  /// baseline for the JIT backend, and an escape hatch for environments
+  /// where compiling/dlopening at runtime is unwanted. (jit::available()
+  /// also gates globally: LATTE_JIT=0 and sanitizer builds disable it.)
+  bool NoJit = false;
   uint64_t Seed = 0x5eed;
 };
 
@@ -114,6 +121,33 @@ public:
 
   void setGradHook(GradHook Hook) { Hook_ = std::move(Hook); }
 
+  // --- JIT backend --------------------------------------------------------
+
+  /// True when a JIT module is loaded and at least one task dispatches
+  /// through it (Program::Jit set, jit::available(), compile succeeded).
+  bool jitActive() const { return JitActive; }
+  /// Why the JIT is not (fully) active: unavailability reason or the
+  /// compile/dlopen diagnostic. Empty when nothing went wrong.
+  const std::string &jitDiagnostic() const { return JitDiag; }
+  /// Tasks dispatched through the loaded module (both passes).
+  int jitTaskCount() const;
+  /// Tasks that fall back to the interpreter although the JIT is active.
+  int jitFallbackCount() const;
+  /// Content hash of the loaded module ("" when none).
+  std::string jitModuleHash() const { return JitMod ? JitMod->hash() : ""; }
+
+  /// Kernel dispatch over pre-resolved arguments — the target the JIT's
+  /// kernel trampoline re-enters (public for the bridge only). \p FB /
+  /// \p IB are the float / int32 buffer pointers by argument position
+  /// (jit::kernelIntBufMask decides which side each position uses), \p IA
+  /// the static int args, \p FA the static float args, \p EA the evaluated
+  /// index-expression args. Runs the exact same kernels as the
+  /// interpreter; GradSyncHook is handled before resolution and must not
+  /// reach here.
+  void execKernelResolved(ir::KernelKind Kind, float *const *FB,
+                          int32_t *const *IB, const int64_t *IA,
+                          const double *FA, const int64_t *EA);
+
 private:
   struct BufferRT {
     float *Data = nullptr;
@@ -133,11 +167,20 @@ private:
   /// \p Profiled, wraps each unit in a ScopedTimer named by the compiler's
   /// TaskLabels. \p GlobalBase maps local unit indices onto the plan's
   /// global timeline (0 for forward, NumForwardUnits for backward).
+  /// \p Fns, when non-null, is the JIT dispatch table parallel to the
+  /// units: a non-null entry runs instead of interpreting that unit.
   void execProgram(const ir::Stmt *Root,
                    const std::vector<compiler::TaskLabel> &Labels, Env &E,
-                   bool Profiled, int GlobalBase);
+                   bool Profiled, int GlobalBase,
+                   const std::vector<jit::TaskFn> *Fns);
   /// Attributes one kernel call to the profiler's counters.
-  void profileKernel(const ir::KernelCallStmt *K) const;
+  void profileKernel(ir::KernelKind Kind, const int64_t *IA) const;
+  /// Compiles/loads the JIT module and builds the dispatch tables; any
+  /// failure leaves JitActive false with the reason in JitDiag.
+  void setupJit();
+  /// Repoints JitCtx at this object (self / buffer tables / trampoline);
+  /// called at the top of each pass so moved Executors stay valid.
+  void refreshJitCtx();
   float evalFloat(const ir::Expr *Ex, Env &E) const;
   int64_t evalInt(const ir::Expr *Ex, Env &E) const;
 
@@ -160,6 +203,16 @@ private:
   std::unordered_map<std::string, std::vector<int32_t>> IntBuffers;
   Rng DropoutRng;
   GradHook Hook_;
+
+  // --- JIT state (all empty/false when the backend is off) ---------------
+  bool JitActive = false;
+  std::string JitDiag;
+  std::shared_ptr<jit::JitModule> JitMod; ///< shared across executors
+  std::vector<jit::TaskFn> JitFwd;  ///< per forward unit; null = interpret
+  std::vector<jit::TaskFn> JitBwd;  ///< per backward unit
+  std::vector<float *> CtxBufs;     ///< Program::Buffers order
+  std::vector<int32_t *> CtxIbufs;  ///< Program::IntBuffers order
+  LatteJitCtx JitCtx = {};
 };
 
 } // namespace engine

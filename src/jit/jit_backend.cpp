@@ -1,0 +1,284 @@
+//===- jit/jit_backend.cpp ------------------------------------*- C++ -*-===//
+
+#include "jit/jit_backend.h"
+
+#include "support/string_utils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+using namespace latte;
+using namespace latte::jit;
+
+namespace {
+
+std::mutex RegistryMutex;
+std::map<std::string, std::weak_ptr<JitModule>> &registry() {
+  static std::map<std::string, std::weak_ptr<JitModule>> R;
+  return R;
+}
+
+Stats &statsImpl() {
+  static Stats S;
+  return S;
+}
+
+/// The flags every generated TU is compiled with. -ffp-contract=off keeps
+/// the host compiler from fusing a*b+c into FMA — the interpreter performs
+/// each float operation separately, and bitwise identity requires the
+/// compiled loop nests to do the same. (The specialized kernel clones the
+/// emitter inlines are contraction-free by construction — data movement,
+/// comparisons, and plain adds only — so the flag costs them nothing.)
+/// -O3 plus the host build's arch flags (baked in by CMake) let those
+/// clones unroll their constant-bound window loops and vectorize on the
+/// same ISA as the library kernels they shadow. -fno-tree-loop-if-convert
+/// works around a GCC 12 wrong-code bug: at -O3 -march=native, loop
+/// if-conversion miscompiles the emitter's gated accumulates
+/// (gi[i] += v[i] > 0 ? g[i] : 0 keeps stale values in some lanes —
+/// reproducible in a 12-line standalone file, caught here by
+/// jit_diff_test as garbage gradients).
+const char *baseFlags() {
+  return "-std=c++17 -O3 -fPIC -shared -ffp-contract=off"
+         " -fno-tree-loop-if-convert"
+#ifdef LATTE_JIT_ARCH_FLAGS
+         " " LATTE_JIT_ARCH_FLAGS
+#endif
+#ifdef LATTE_HAVE_OPENMP
+         " -fopenmp"
+#endif
+      ;
+}
+
+std::string compilerCommand() {
+  if (const char *Env = std::getenv("LATTE_JIT_CC"))
+    if (Env[0])
+      return Env;
+#ifdef LATTE_JIT_DEFAULT_CC
+  return LATTE_JIT_DEFAULT_CC;
+#else
+  return "c++";
+#endif
+}
+
+bool makeDir(const std::string &Path) {
+  return ::mkdir(Path.c_str(), 0755) == 0 || errno == EEXIST;
+}
+
+bool fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+uint64_t fnv1a(const char *Data, size_t N, uint64_t H = 0xcbf29ce484222325ull) {
+  for (size_t I = 0; I < N; ++I) {
+    H ^= static_cast<unsigned char>(Data[I]);
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+/// Last ~20 lines of the compiler's captured stderr, for diagnostics.
+std::string tailOfFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return "";
+  std::string All;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof Buf, F)) > 0)
+    All.append(Buf, N);
+  std::fclose(F);
+  size_t Pos = All.size();
+  for (int Lines = 0; Pos > 0 && Lines < 20; --Pos)
+    if (All[Pos - 1] == '\n')
+      ++Lines;
+  return All.substr(Pos);
+}
+
+/// dlopens \p Path and checks the exported ABI version. Returns null with
+/// a reason when the object cannot be used.
+void *loadAndCheck(const std::string &Path, std::string *Why) {
+  void *Handle = ::dlopen(Path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    if (Why)
+      *Why = std::string("dlopen failed: ") + ::dlerror();
+    return nullptr;
+  }
+  using VersionFn = int64_t (*)();
+  auto Version = reinterpret_cast<VersionFn>(
+      ::dlsym(Handle, "latte_jit_abi_version"));
+  if (!Version || Version() != kLatteJitAbiVersion) {
+    if (Why)
+      *Why = Version ? formatString("ABI version mismatch (object %lld, "
+                                    "engine %lld)",
+                                    static_cast<long long>(Version()),
+                                    static_cast<long long>(kLatteJitAbiVersion))
+                     : "object exports no latte_jit_abi_version";
+    ::dlclose(Handle);
+    return nullptr;
+  }
+  return Handle;
+}
+
+} // namespace
+
+bool jit::available(std::string *WhyNot) {
+#ifdef LATTE_JIT_DISABLED
+  if (WhyNot)
+    *WhyNot = "JIT disabled in this build (sanitizers cannot instrument "
+              "dlopened code)";
+  return false;
+#else
+  if (const char *Env = std::getenv("LATTE_JIT"))
+    if (Env[0] == '0') {
+      if (WhyNot)
+        *WhyNot = "JIT disabled by LATTE_JIT=0";
+      return false;
+    }
+  return true;
+#endif
+}
+
+std::string jit::cacheDir() {
+  std::string Dir;
+  if (const char *Env = std::getenv("LATTE_JIT_DIR"))
+    if (Env[0])
+      Dir = Env;
+  if (Dir.empty()) {
+    if (const char *Xdg = std::getenv("XDG_CACHE_HOME"))
+      if (Xdg[0]) {
+        makeDir(Xdg);
+        Dir = std::string(Xdg) + "/latte-jit";
+      }
+  }
+  if (Dir.empty())
+    Dir = formatString("/tmp/latte-jit-%ld", static_cast<long>(::getuid()));
+  makeDir(Dir);
+  return Dir;
+}
+
+std::string jit::hashSource(const std::string &Source) {
+  uint64_t H = fnv1a(Source.data(), Source.size());
+  std::string Salt =
+      formatString("|abi=%lld|%s|", static_cast<long long>(kLatteJitAbiVersion),
+                   baseFlags());
+  H = fnv1a(Salt.data(), Salt.size(), H);
+  // A second pass with a different seed widens the key to 128 bits;
+  // accidental collisions over cache lifetimes are then implausible.
+  uint64_t H2 = fnv1a(Source.data(), Source.size(), H ^ 0x9e3779b97f4a7c15ull);
+  return formatString("%016llx%016llx", static_cast<unsigned long long>(H),
+                      static_cast<unsigned long long>(H2));
+}
+
+std::string jit::cachedObjectPath(const std::string &Hash) {
+  return cacheDir() + "/latte_" + Hash + ".so";
+}
+
+Stats jit::stats() {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  return statsImpl();
+}
+
+void jit::resetStats() {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  statsImpl() = Stats();
+}
+
+JitModule::~JitModule() {
+  if (Handle)
+    ::dlclose(Handle);
+}
+
+TaskFn JitModule::symbol(const std::string &Name) const {
+  return reinterpret_cast<TaskFn>(::dlsym(Handle, Name.c_str()));
+}
+
+std::shared_ptr<JitModule>
+JitModule::getOrCreate(const std::string &Source, std::string *Diag) {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  Stats &S = statsImpl();
+  std::string Hash = hashSource(Source);
+
+  // Live module already loaded in this process (e.g. another data-parallel
+  // worker compiled the same per-worker program)?
+  auto It = registry().find(Hash);
+  if (It != registry().end()) {
+    if (std::shared_ptr<JitModule> M = It->second.lock()) {
+      ++S.MemCacheHits;
+      return M;
+    }
+    registry().erase(It);
+  }
+
+  std::string ObjPath = cachedObjectPath(Hash);
+  std::string Why;
+
+  // Disk cache from an earlier run. A corrupt or stale object is deleted
+  // and recompiled below instead of failing the whole backend.
+  if (fileExists(ObjPath)) {
+    if (void *Handle = loadAndCheck(ObjPath, &Why)) {
+      ++S.DiskCacheHits;
+      auto M = std::shared_ptr<JitModule>(new JitModule(Handle, Hash));
+      registry()[Hash] = M;
+      return M;
+    }
+    ++S.LoadFailures;
+    std::remove(ObjPath.c_str());
+  }
+
+  // Compile. Temp names + rename keep concurrent processes from reading a
+  // half-written object.
+  std::string Dir = cacheDir();
+  std::string Tag = formatString("%ld", static_cast<long>(::getpid()));
+  std::string SrcPath = Dir + "/latte_" + Hash + "." + Tag + ".cpp";
+  std::string TmpObj = Dir + "/latte_" + Hash + "." + Tag + ".so.tmp";
+  std::string LogPath = Dir + "/latte_" + Hash + "." + Tag + ".log";
+  {
+    std::FILE *F = std::fopen(SrcPath.c_str(), "w");
+    if (!F || std::fwrite(Source.data(), 1, Source.size(), F) !=
+                  Source.size()) {
+      if (F)
+        std::fclose(F);
+      if (Diag)
+        *Diag = "cannot write generated source to " + SrcPath;
+      return nullptr;
+    }
+    std::fclose(F);
+  }
+  std::string Cmd = compilerCommand() + " " + baseFlags() + " -o '" + TmpObj +
+                    "' '" + SrcPath + "' >'" + LogPath + "' 2>&1";
+  int Rc = std::system(Cmd.c_str());
+  if (Rc != 0) {
+    if (Diag)
+      *Diag = "JIT compile failed (" + compilerCommand() +
+              "): " + tailOfFile(LogPath);
+    std::remove(SrcPath.c_str());
+    std::remove(TmpObj.c_str());
+    std::remove(LogPath.c_str());
+    return nullptr;
+  }
+  std::rename(TmpObj.c_str(), ObjPath.c_str());
+  std::remove(SrcPath.c_str());
+  std::remove(LogPath.c_str());
+
+  void *Handle = loadAndCheck(ObjPath, &Why);
+  if (!Handle) {
+    // Freshly built and still unloadable: give up (don't loop).
+    ++S.LoadFailures;
+    if (Diag)
+      *Diag = "freshly compiled object unusable: " + Why;
+    return nullptr;
+  }
+  ++S.Compiles;
+  auto M = std::shared_ptr<JitModule>(new JitModule(Handle, Hash));
+  registry()[Hash] = M;
+  return M;
+}

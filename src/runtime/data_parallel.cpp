@@ -25,6 +25,10 @@ DataParallelTrainer::DataParallelTrainer(const NetBuilder &Builder,
     EO.Seed = Opts.Seed;
     // Workers are the parallelism here; their internal loops stay serial.
     EO.Parallel = false;
+    // With Opts.Compile.Jit on, every replica compiles the same per-worker
+    // program, so all of them hash to the same JIT source and share one
+    // loaded module through the content-hash registry (jit::JitModule::
+    // getOrCreate): one compile + one dlopen for the whole pool.
     Workers.push_back(std::make_unique<engine::Executor>(
         compiler::compile(Net, Opts.Compile), EO));
   }

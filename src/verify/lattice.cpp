@@ -149,10 +149,16 @@ std::vector<unsigned> verify::sweepMasks() {
   }
   // Per-PR tier: the full Recompute-on sub-lattice (the shipping default
   // for every switch combination underneath it) plus the everything-but-
-  // recompute point — 66 masks, about the cost of the old 2^6 sweep.
+  // recompute point — 66 masks, about the cost of the old 2^6 sweep —
+  // and three JIT probes (JIT alone, JIT over the recompute default,
+  // everything on). The full JIT sub-lattice is deep-tier only; the
+  // dedicated jit_diff_test sweeps all 64 base masks per PR.
   for (unsigned M = 64; M < 128; ++M)
     Masks.push_back(M);
   Masks.push_back(0x3f);
+  Masks.push_back(0x80);
+  Masks.push_back(0xC0);
+  Masks.push_back(0xFF);
   return Masks;
 }
 
@@ -167,6 +173,7 @@ CompileOptions verify::optionsForMask(unsigned Mask,
   C.Parallelize = (Mask & 16u) != 0;
   C.VectorKernels = (Mask & 32u) != 0;
   C.Recompute = (Mask & 64u) != 0;
+  C.Jit = (Mask & 128u) != 0;
   C.TileSize = O.TileSize;
   C.MinRowsToTile = O.MinRowsToTile;
   C.VerifyEach = O.VerifyEach;
@@ -178,7 +185,8 @@ std::string verify::flagString(const CompileOptions &Opts) {
   Os << "gemm=" << Opts.PatternMatchGemm
      << " kernels=" << Opts.PatternMatchKernels << " tiling=" << Opts.Tiling
      << " fusion=" << Opts.Fusion << " parallel=" << Opts.Parallelize
-     << " vector=" << Opts.VectorKernels << " recompute=" << Opts.Recompute;
+     << " vector=" << Opts.VectorKernels << " recompute=" << Opts.Recompute
+     << " jit=" << Opts.Jit;
   return Os.str();
 }
 

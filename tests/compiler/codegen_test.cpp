@@ -139,6 +139,31 @@ TEST(CodegenTest, GeneratedProgramMatchesEngine) {
   std::remove(OutPath.c_str());
 }
 
+TEST(CodegenTest, EmissionIsByteStable) {
+  // The JIT backend keys its shared-object cache on a content hash of the
+  // generated source, so emission must be byte-identical run to run:
+  // separate compilations of the same net — fresh Program objects, fresh
+  // allocator layouts — have to produce the same bytes from both the
+  // standalone generator and the JIT task generator. Any iteration over a
+  // pointer- or hash-ordered container in either emitter breaks this.
+  std::unique_ptr<Net> N(makeConvNet(2));
+  CompileOptions Opts;
+  Opts.TileSize = 2;
+  Opts.MinRowsToTile = 2;
+  Opts.Jit = true;
+  Program P1 = compile(*N, Opts);
+  Program P2 = compile(*N, Opts);
+  EXPECT_EQ(generateCpp(P1), generateCpp(P2));
+  JitSource J1 = generateJitSource(P1);
+  JitSource J2 = generateJitSource(P2);
+  EXPECT_EQ(J1.Source, J2.Source);
+  ASSERT_EQ(J1.Forward.size(), J2.Forward.size());
+  for (size_t I = 0; I < J1.Forward.size(); ++I) {
+    EXPECT_EQ(J1.Forward[I].Symbol, J2.Forward[I].Symbol);
+    EXPECT_EQ(J1.Forward[I].Jittable, J2.Forward[I].Jittable);
+  }
+}
+
 TEST(CodegenTest, TiledLoopsAppearInSource) {
   std::unique_ptr<Net> N(makeConvNet(2));
   CompileOptions Opts;

@@ -80,26 +80,28 @@ void buildCustomNet(Net &Net) {
 } // namespace
 
 TEST(LatticeTest, OptionsForMaskCoversAllSwitches) {
-  EXPECT_EQ(verify::kNumLatticeSwitches, 7u);
+  EXPECT_EQ(verify::kNumLatticeSwitches, 8u);
   CompileOptions None = verify::optionsForMask(0);
   EXPECT_FALSE(None.PatternMatchGemm || None.PatternMatchKernels ||
                None.Tiling || None.Fusion || None.Parallelize ||
-               None.VectorKernels || None.Recompute);
-  CompileOptions All = verify::optionsForMask(127);
+               None.VectorKernels || None.Recompute || None.Jit);
+  CompileOptions All = verify::optionsForMask(255);
   EXPECT_TRUE(All.PatternMatchGemm && All.PatternMatchKernels && All.Tiling &&
               All.Fusion && All.Parallelize && All.VectorKernels &&
-              All.Recompute);
+              All.Recompute && All.Jit);
   // Each bit flips exactly one switch.
   for (unsigned Bit = 0; Bit < verify::kNumLatticeSwitches; ++Bit) {
     CompileOptions C = verify::optionsForMask(1u << Bit);
     int On = C.PatternMatchGemm + C.PatternMatchKernels + C.Tiling +
-             C.Fusion + C.Parallelize + C.VectorKernels + C.Recompute;
+             C.Fusion + C.Parallelize + C.VectorKernels + C.Recompute +
+             C.Jit;
     EXPECT_EQ(On, 1) << "bit " << Bit;
   }
   std::string S = verify::flagString(All);
   EXPECT_NE(S.find("gemm=1"), std::string::npos);
   EXPECT_NE(S.find("vector=1"), std::string::npos);
   EXPECT_NE(S.find("recompute=1"), std::string::npos);
+  EXPECT_NE(S.find("jit=1"), std::string::npos);
 }
 
 TEST(LatticeTest, SweepMasksCoverTier) {
@@ -110,10 +112,15 @@ TEST(LatticeTest, SweepMasksCoverTier) {
     EXPECT_EQ(Masks.size(), 1u << verify::kNumLatticeSwitches);
   } else {
     // Per-PR tier: reference + full recompute-on sub-lattice + the
-    // all-but-recompute point, at roughly the pre-recompute sweep cost.
-    EXPECT_EQ(Masks.size(), 66u);
+    // all-but-recompute point + three JIT probes, at roughly the
+    // pre-recompute sweep cost (the full JIT x base cross product lives
+    // in jit_diff_test and the deep tier).
+    EXPECT_EQ(Masks.size(), 69u);
     EXPECT_NE(std::find(Masks.begin(), Masks.end(), 0x7fu), Masks.end());
     EXPECT_NE(std::find(Masks.begin(), Masks.end(), 0x3fu), Masks.end());
+    EXPECT_NE(std::find(Masks.begin(), Masks.end(), 0x80u), Masks.end());
+    EXPECT_NE(std::find(Masks.begin(), Masks.end(), 0xC0u), Masks.end());
+    EXPECT_NE(std::find(Masks.begin(), Masks.end(), 0xFFu), Masks.end());
   }
   for (unsigned M : Masks)
     EXPECT_LT(M, 1u << verify::kNumLatticeSwitches);
