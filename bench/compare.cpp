@@ -7,9 +7,13 @@
 /// gate merges.
 ///
 ///   bench/compare old.json new.json [--threshold 1.5] [--markdown]
+///                 [--rows label1,label2]
 ///
 /// `--markdown` prints a GitHub-flavored table instead of the plain
-/// report — CI appends it to $GITHUB_STEP_SUMMARY.
+/// report — CI appends it to $GITHUB_STEP_SUMMARY. `--rows` restricts the
+/// comparison to the named row labels: the serve-smoke job hard-gates only
+/// the `serve_throughput` speedup row at a tight threshold, then reruns
+/// without the filter (informationally) for the summary table.
 ///
 /// Exit codes: 0 = within threshold, 1 = regression, 2 = usage/parse error.
 ///
@@ -21,6 +25,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 using namespace latte;
 
@@ -28,14 +33,26 @@ int main(int argc, char **argv) {
   std::string OldPath, NewPath;
   double Threshold = 1.5;
   bool Markdown = false;
+  std::vector<std::string> Rows;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--threshold") == 0 && I + 1 < argc) {
       Threshold = std::atof(argv[++I]);
     } else if (std::strcmp(argv[I], "--markdown") == 0) {
       Markdown = true;
+    } else if (std::strcmp(argv[I], "--rows") == 0 && I + 1 < argc) {
+      std::string List = argv[++I];
+      size_t Pos = 0;
+      while (Pos <= List.size()) {
+        size_t Comma = List.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = List.size();
+        if (Comma > Pos)
+          Rows.push_back(List.substr(Pos, Comma - Pos));
+        Pos = Comma + 1;
+      }
     } else if (std::strcmp(argv[I], "--help") == 0) {
       std::printf("usage: compare old.json new.json [--threshold R] "
-                  "[--markdown]\n");
+                  "[--markdown] [--rows a,b]\n");
       return 0;
     } else if (OldPath.empty()) {
       OldPath = argv[I];
@@ -66,7 +83,9 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  bench::CompareResult R = bench::compareBenchJson(Old, New, Threshold);
+  bench::CompareResult R = bench::compareBenchJson(
+      Old, New, Threshold, /*MinDeltaSec=*/1e-4,
+      Rows.empty() ? nullptr : &Rows);
   std::fputs(Markdown ? bench::formatCompareMarkdown(R, Threshold).c_str()
                       : bench::formatCompareReport(R, Threshold).c_str(),
              stdout);

@@ -23,6 +23,15 @@ namespace compiler {
 /// unsupported constructs (non-recurrent cycles, unknown field references).
 Program compile(const core::Net &Net, const CompileOptions &Opts = {});
 
+/// Inference-mode compilation: compile() with CompileOptions::Inference
+/// forced on. The result has no backward program, no gradient or solver
+/// buffers, and a forward-only memory plan (a strictly smaller arena than
+/// the training compile of the same net); its forward outputs are bitwise
+/// identical to the training program's forward pass under the same
+/// optimization switches. This is what the serving runtime (src/serve)
+/// executes per replica.
+Program compileForward(const core::Net &Net, CompileOptions Opts = {});
+
 /// One snapshot of the optimization pipeline: the program as it stands with
 /// only the switches up to (and including) this stage enabled. Compilation
 /// is deterministic, so executing successive stages localizes which pass

@@ -159,6 +159,13 @@ struct Program {
   /// loaded module, falling back per task to the interpreter.
   bool Jit = false;
 
+  /// True for inference-compiled programs (CompileOptions::Inference /
+  /// compileForward): Backward is null, gradient/solver buffers are gone
+  /// from the buffer table, and Params is empty (nothing to train). The
+  /// engine rejects backward() and the verification tooling (gradCheck)
+  /// rejects such programs with a diagnostic instead of crashing.
+  bool Inference = false;
+
   const BufferInfo *findBuffer(const std::string &Name) const {
     for (const BufferInfo &B : Buffers)
       if (B.Name == Name)
@@ -171,6 +178,31 @@ struct Program {
         return &B;
     return nullptr;
   }
+  /// Deep copy (the IR statement trees are unique_ptrs, so Program is
+  /// move-only; the serving layer's compile cache hands out clones so N
+  /// executor replicas can each own a program compiled exactly once).
+  Program clone() const {
+    Program P;
+    P.BatchSize = BatchSize;
+    P.Buffers = Buffers;
+    P.IntBuffers = IntBuffers;
+    P.Forward = Forward ? Forward->clone() : nullptr;
+    P.Backward = Backward ? Backward->clone() : nullptr;
+    P.ForwardTasks = ForwardTasks;
+    P.BackwardTasks = BackwardTasks;
+    P.Params = Params;
+    P.DataBuffer = DataBuffer;
+    P.LabelBuffer = LabelBuffer;
+    P.LossBuffer = LossBuffer;
+    P.ProbBuffer = ProbBuffer;
+    P.Report = Report;
+    P.Recomputes = Recomputes;
+    P.Plan = Plan;
+    P.Jit = Jit;
+    P.Inference = Inference;
+    return P;
+  }
+
   /// Follows \p Name's AliasOf chain to the storage-owning root buffer.
   /// Returns nullptr when \p Name is unknown; a dangling or cyclic chain
   /// (the verifier's buffer.alias diagnostics) stops at the last
@@ -208,6 +240,15 @@ struct CompileOptions {
   /// verification sweep. Off by default — purely a steady-state speed
   /// lever, bitwise-identical results either way.
   bool Jit = false;
+  /// Inference mode (compileForward): assemble the forward program only,
+  /// then strip everything backward-owned — backward tasks, gradient and
+  /// solver buffers, backward-only index tables, parameter bindings. The
+  /// forward IR is assembled by the identical pipeline BEFORE stripping,
+  /// so inference forward outputs are bitwise identical to training-mode
+  /// forward under the same switches; the memory plan covers forward-only
+  /// live ranges, shrinking the per-replica serving arena. Recompute is
+  /// vacuous without a backward program and is skipped.
+  bool Inference = false;
   int64_t TileSize = 8;      ///< target tile extent along y
   /// Cost-model threshold: layers whose spatial row extent is below this
   /// are left untiled (the paper's §7.1.2 observation — tiling loses its

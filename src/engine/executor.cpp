@@ -314,6 +314,32 @@ void Executor::initParams(uint64_t Seed) {
   }
 }
 
+void Executor::shareParamsFrom(const Executor &Src) {
+  // Collect this program's Param-role alias roots, then repoint the root
+  // and every alias member at the source's storage. CtxBufs (the JIT's
+  // buffer table snapshot) is refreshed in lockstep so generated code sees
+  // the shared weights too.
+  for (const BufferInfo &B : Prog.Buffers) {
+    const BufferInfo *Root = Prog.resolveAlias(B.Name);
+    if (!Root || Root->Role != BufferRole::Param)
+      continue;
+    auto It = Src.Buffers.find(B.Name);
+    if (It == Src.Buffers.end())
+      reportFatalError("shareParamsFrom: source executor has no parameter "
+                       "buffer '" + B.Name + "'");
+    BufferRT &Mine = buffer(B.Name);
+    if (It->second.Count != Mine.Count)
+      reportFatalError("shareParamsFrom: parameter '" + B.Name +
+                       "' shape mismatch (" + std::to_string(Mine.Count) +
+                       " vs " + std::to_string(It->second.Count) +
+                       " elements)");
+    Mine.Data = It->second.Data;
+  }
+  if (!CtxBufs.empty())
+    for (size_t I = 0; I < Prog.Buffers.size(); ++I)
+      CtxBufs[I] = Buffers.at(Prog.Buffers[I].Name).Data;
+}
+
 void Executor::forward() {
   // Deterministic mode: every forward pass draws the same dropout masks, so
   // repeated forwards over the same inputs are bitwise identical (finite
@@ -354,6 +380,12 @@ void Executor::forward() {
 }
 
 void Executor::backward() {
+  if (Prog.Inference || !Prog.Backward)
+    reportFatalError(
+        "backward() called on an inference-compiled program: it has no "
+        "backward tasks, gradient buffers, or solver bindings (compiled "
+        "via CompileOptions::Inference / compileForward). Recompile in "
+        "training mode to run backward.");
   if (PlanActive) {
     for (const std::string &Root : Prog.Plan.ZeroOnBackwardPinned)
       kernels::zero(buffer(Root).Data, buffer(Root).Count);

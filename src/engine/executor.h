@@ -109,7 +109,21 @@ public:
   /// constant per the compiler's declarations).
   void initParams(uint64_t Seed);
 
+  /// Repoints every Param-role buffer at \p Src's storage so this executor
+  /// reads the exact same weight bytes (pointer-level sharing, not a copy).
+  /// The programs must declare identically-shaped parameters under the same
+  /// names — the serving runtime guarantees this by cloning all replica
+  /// programs of one batch-size family from the same compile cache and
+  /// compiling every batch size from the same net builder. \p Src must
+  /// outlive this executor, and neither side may call initParams afterwards
+  /// (the weights are frozen, which inference compilation enforces by
+  /// having no solver bindings to update them).
+  void shareParamsFrom(const Executor &Src);
+
   void forward();
+  /// Fatal on inference-compiled programs (Program::Inference — no
+  /// backward tasks exist); recompile without CompileOptions::Inference to
+  /// train.
   void backward();
 
   /// Mean of the loss buffer after a forward pass (0 when the program has

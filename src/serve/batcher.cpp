@@ -1,0 +1,93 @@
+//===- serve/batcher.cpp --------------------------------------*- C++ -*-===//
+
+#include "serve/batcher.h"
+
+#include "support/error.h"
+
+using namespace latte;
+using namespace latte::serve;
+
+MicroBatcher::MicroBatcher(int64_t MaxBatch,
+                           std::chrono::microseconds FlushDeadline,
+                           size_t Capacity)
+    : MaxBatch(MaxBatch), FlushDeadline(FlushDeadline), Capacity(Capacity) {
+  if (MaxBatch <= 0)
+    reportFatalError("MicroBatcher: MaxBatch must be positive");
+  if (Capacity == 0)
+    reportFatalError("MicroBatcher: Capacity must be positive");
+}
+
+bool MicroBatcher::enqueue(Request &&R) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopped || Queue.size() >= Capacity) {
+      ++Stats.Shed;
+      return false;
+    }
+    R.Enqueued = std::chrono::steady_clock::now();
+    Queue.push_back(std::move(R));
+    ++Stats.Enqueued;
+  }
+  // All waiters, not one: the consumer whose deadline timer is about to
+  // fire may not be the one this enqueue completes a full batch for.
+  Cv.notify_all();
+  return true;
+}
+
+std::vector<Request> MicroBatcher::takeLocked(size_t N) {
+  if (N > static_cast<size_t>(MaxBatch))
+    N = static_cast<size_t>(MaxBatch);
+  std::vector<Request> Batch;
+  Batch.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    Batch.push_back(std::move(Queue.front()));
+    Queue.pop_front();
+  }
+  return Batch;
+}
+
+std::vector<Request> MicroBatcher::popBatch() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    if (Stopped) {
+      if (Queue.empty())
+        return {};
+      ++Stats.DrainFlushes;
+      return takeLocked(Queue.size());
+    }
+    if (Queue.size() >= static_cast<size_t>(MaxBatch)) {
+      ++Stats.FullFlushes;
+      return takeLocked(static_cast<size_t>(MaxBatch));
+    }
+    if (!Queue.empty()) {
+      auto Deadline = Queue.front().Enqueued + FlushDeadline;
+      if (std::chrono::steady_clock::now() >= Deadline) {
+        ++Stats.DeadlineFlushes;
+        return takeLocked(Queue.size());
+      }
+      // Re-evaluates on enqueue (the batch may fill first), on stop, or
+      // when the oldest request's deadline passes.
+      Cv.wait_until(Lock, Deadline);
+    } else {
+      Cv.wait(Lock);
+    }
+  }
+}
+
+void MicroBatcher::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopped = true;
+  }
+  Cv.notify_all();
+}
+
+size_t MicroBatcher::pending() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Queue.size();
+}
+
+BatcherStats MicroBatcher::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}

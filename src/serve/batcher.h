@@ -1,0 +1,95 @@
+//===- serve/batcher.h - Dynamic micro-batching queue ----------*- C++ -*-===//
+///
+/// \file
+/// The admission side of the serving runtime: callers enqueue single-item
+/// requests, executor replicas pop micro-batches. A batch is released the
+/// moment either trigger fires:
+///
+///   * batch-full  — MaxBatch requests are pending (take exactly MaxBatch),
+///   * deadline    — the oldest pending request has waited FlushDeadline
+///                   (take everything pending, which is < MaxBatch).
+///
+/// The deadline bounds queueing latency for sparse traffic; batch-full
+/// keeps throughput under load. Over-capacity requests are shed at enqueue
+/// (the caller sees `false` and fails the request upstream) so a saturated
+/// server degrades by rejecting, not by growing an unbounded queue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_SERVE_BATCHER_H
+#define LATTE_SERVE_BATCHER_H
+
+#include "support/tensor.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+namespace latte {
+namespace serve {
+
+/// One in-flight inference request: a single item's input and the promise
+/// its output row is delivered through.
+struct Request {
+  Tensor Input;
+  std::promise<Tensor> Result;
+  std::chrono::steady_clock::time_point Enqueued;
+};
+
+struct BatcherStats {
+  int64_t Enqueued = 0;        ///< accepted requests
+  int64_t Shed = 0;            ///< rejected at capacity (or after stop)
+  int64_t FullFlushes = 0;     ///< batches released at MaxBatch
+  int64_t DeadlineFlushes = 0; ///< partial batches released by deadline
+  int64_t DrainFlushes = 0;    ///< partial batches released during stop()
+};
+
+class MicroBatcher {
+public:
+  /// \p MaxBatch is the largest batch popBatch will return (the largest
+  /// precompiled batch size); \p FlushDeadline the max time the oldest
+  /// request may wait before a partial batch is released; \p Capacity the
+  /// shed threshold on pending requests.
+  MicroBatcher(int64_t MaxBatch, std::chrono::microseconds FlushDeadline,
+               size_t Capacity);
+
+  /// Accepts \p R unless the queue is at capacity or stopped; returns
+  /// whether the request was admitted (false = shed, promise untouched —
+  /// the caller still owns it).
+  bool enqueue(Request &&R);
+
+  /// Blocks until a batch is available per the two flush triggers, or
+  /// until stop() — then drains the remainder and finally returns an empty
+  /// vector forever (the consumer's termination signal).
+  std::vector<Request> popBatch();
+
+  /// Wakes all consumers; subsequent popBatch calls drain then return
+  /// empty. Idempotent.
+  void stop();
+
+  size_t pending() const;
+  BatcherStats stats() const;
+
+private:
+  const int64_t MaxBatch;
+  const std::chrono::microseconds FlushDeadline;
+  const size_t Capacity;
+
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<Request> Queue;
+  bool Stopped = false;
+  BatcherStats Stats;
+
+  /// Pops min(N, MaxBatch) requests under the lock.
+  std::vector<Request> takeLocked(size_t N);
+};
+
+} // namespace serve
+} // namespace latte
+
+#endif // LATTE_SERVE_BATCHER_H

@@ -1,0 +1,298 @@
+//===- serve/server.cpp ---------------------------------------*- C++ -*-===//
+
+#include "serve/server.h"
+
+#include "support/error.h"
+#include "support/timer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+using namespace latte;
+using namespace latte::serve;
+
+// --- ProgramCache ----------------------------------------------------------
+
+namespace {
+
+/// FNV-1a, the same cheap content hash the JIT module cache uses.
+struct Fnv {
+  uint64_t H = 1469598103934665603ull;
+  void bytes(const void *P, size_t N) {
+    const auto *B = static_cast<const unsigned char *>(P);
+    for (size_t I = 0; I < N; ++I) {
+      H ^= B[I];
+      H *= 1099511628211ull;
+    }
+  }
+  void str(const std::string &S) {
+    bytes(S.data(), S.size());
+    bytes("\0", 1);
+  }
+  void i64(int64_t V) { bytes(&V, sizeof V); }
+  void f64(double V) { bytes(&V, sizeof V); }
+};
+
+} // namespace
+
+ProgramCache &ProgramCache::instance() {
+  static ProgramCache C;
+  return C;
+}
+
+std::string ProgramCache::key(const models::ModelSpec &Spec,
+                              const compiler::CompileOptions &Opts,
+                              int64_t BatchSize) {
+  Fnv F;
+  F.str(Spec.Name);
+  for (int64_t D : Spec.InputDims.dims())
+    F.i64(D);
+  F.i64(Spec.NumClasses);
+  for (const models::LayerSpec &L : Spec.Layers) {
+    F.i64(static_cast<int64_t>(L.K));
+    F.str(L.Name);
+    F.i64(L.Filters);
+    F.i64(L.Kernel);
+    F.i64(L.Stride);
+    F.i64(L.Pad);
+    F.f64(L.KeepProb);
+  }
+  // Every switch that changes the assembled program. VerifyEach is a
+  // checking knob, not a program-shaping one, and is deliberately absent.
+  int64_t Bits = 0;
+  for (bool B : {Opts.PatternMatchGemm, Opts.PatternMatchKernels, Opts.Tiling,
+                 Opts.Fusion, Opts.Parallelize, Opts.VectorKernels,
+                 Opts.Recompute, Opts.Jit, Opts.Inference, Opts.GradSyncHooks})
+    Bits = (Bits << 1) | (B ? 1 : 0);
+  F.i64(Bits);
+  F.i64(Opts.TileSize);
+  F.i64(Opts.MinRowsToTile);
+  F.i64(BatchSize);
+
+  std::ostringstream Os;
+  Os << Spec.Name << ":b" << BatchSize << ":" << std::hex << F.H;
+  return Os.str();
+}
+
+std::shared_ptr<const compiler::Program>
+ProgramCache::getOrCompile(const models::ModelSpec &Spec,
+                           const compiler::CompileOptions &Opts,
+                           int64_t BatchSize) {
+  std::string K = key(Spec, Opts, BatchSize);
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Cache.find(K);
+  if (It != Cache.end()) {
+    ++St.Hits;
+    return It->second;
+  }
+  ++St.Misses;
+  core::Net Net(BatchSize);
+  models::buildLatte(Net, Spec, /*WithLoss=*/true);
+  auto Prog = std::make_shared<compiler::Program>(
+      compiler::compile(Net, Opts));
+  Cache.emplace(K, Prog);
+  return Prog;
+}
+
+ProgramCache::Stats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return St;
+}
+
+void ProgramCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Cache.clear();
+  St = {};
+}
+
+// --- Server ----------------------------------------------------------------
+
+Server::Server(const models::ModelSpec &Spec,
+               const compiler::CompileOptions &CO, const ServeOptions &SO)
+    : Spec(Spec), CompileOpts(CO), Opts(SO), BatchSizes(SO.BatchSizes) {
+  CompileOpts.Inference = true;
+  std::sort(BatchSizes.begin(), BatchSizes.end());
+  BatchSizes.erase(std::unique(BatchSizes.begin(), BatchSizes.end()),
+                   BatchSizes.end());
+  if (BatchSizes.empty() || BatchSizes.front() <= 0)
+    reportFatalError("Server: BatchSizes must be non-empty and positive");
+  if (Opts.Replicas <= 0)
+    reportFatalError("Server: Replicas must be positive");
+
+  ItemElems = Spec.InputDims.numElements();
+  ClassElems = Spec.NumClasses;
+
+  for (int64_t BS : BatchSizes)
+    Programs.push_back(
+        ProgramCache::instance().getOrCompile(Spec, CompileOpts, BS));
+
+  // The weight master: owns the parameter bytes every replica points at.
+  // It is a plain executor of the smallest batch size and never serves
+  // traffic itself.
+  engine::ExecOptions MasterEO = Opts.Exec;
+  MasterEO.Seed = Opts.ParamSeed;
+  MasterEO.Profile = false;
+  Master = std::make_unique<engine::Executor>(Programs.front()->clone(),
+                                              MasterEO);
+
+  // Replicas keep the caller's Profile flag: the profiler keeps per-thread
+  // span buffers, so concurrent replica forwards record safely (the
+  // nightly bench ships the resulting Chrome trace).
+  engine::ExecOptions RepEO = Opts.Exec;
+  RepEO.Seed = Opts.ParamSeed;
+  Replicas.resize(static_cast<size_t>(Opts.Replicas));
+  for (Replica &Rep : Replicas)
+    for (size_t BI = 0; BI < BatchSizes.size(); ++BI) {
+      Rep.Execs.push_back(
+          std::make_unique<engine::Executor>(Programs[BI]->clone(), RepEO));
+      Rep.Execs.back()->shareParamsFrom(*Master);
+    }
+
+  Batcher = std::make_unique<MicroBatcher>(
+      BatchSizes.back(), std::chrono::microseconds(Opts.FlushDeadlineMicros),
+      Opts.QueueCapacity);
+}
+
+Server::~Server() { stop(); }
+
+void Server::loadParamsFrom(const engine::Executor &Trained) {
+  if (Running)
+    reportFatalError("Server::loadParamsFrom: call before start()");
+  for (const compiler::BufferInfo &B : Master->program().Buffers)
+    if (B.Role == compiler::BufferRole::Param && B.AliasOf.empty())
+      Master->writeBuffer(B.Name, Trained.readBuffer(B.Name));
+}
+
+void Server::start() {
+  if (Running)
+    return;
+  Running = true;
+  for (Replica &Rep : Replicas)
+    Rep.Worker = std::thread([this, &Rep] { workerLoop(Rep); });
+}
+
+void Server::stop() {
+  if (Batcher)
+    Batcher->stop();
+  for (Replica &Rep : Replicas)
+    if (Rep.Worker.joinable())
+      Rep.Worker.join();
+  Running = false;
+}
+
+bool Server::submit(Tensor Item, std::future<Tensor> *Out) {
+  if (Item.numElements() != ItemElems)
+    reportFatalError("Server::submit: item has " +
+                     std::to_string(Item.numElements()) + " elements, spec '" +
+                     Spec.Name + "' expects " + std::to_string(ItemElems));
+  Request R;
+  R.Input = std::move(Item);
+  std::future<Tensor> Fut = R.Result.get_future();
+  if (!Batcher->enqueue(std::move(R))) {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Stats.Shed;
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Stats.Submitted;
+  }
+  if (Out)
+    *Out = std::move(Fut);
+  return true;
+}
+
+engine::Executor &Server::pickExecutor(Replica &Rep, int64_t Fill,
+                                       int64_t *BatchSize) {
+  for (size_t BI = 0; BI < BatchSizes.size(); ++BI)
+    if (BatchSizes[BI] >= Fill) {
+      *BatchSize = BatchSizes[BI];
+      return *Rep.Execs[BI];
+    }
+  // popBatch never returns more than maxBatch() requests.
+  reportFatalError("Server: batch of " + std::to_string(Fill) +
+                   " exceeds the largest precompiled batch size");
+}
+
+void Server::workerLoop(Replica &Rep) {
+  for (;;) {
+    std::vector<Request> Batch = Batcher->popBatch();
+    if (Batch.empty())
+      return;
+    int64_t Fill = static_cast<int64_t>(Batch.size());
+    int64_t BS = 0;
+    engine::Executor &Ex = pickExecutor(Rep, Fill, &BS);
+    const compiler::Program &Prog = Ex.program();
+
+    float *In = Ex.data(Prog.DataBuffer);
+    for (int64_t I = 0; I < Fill; ++I)
+      std::memcpy(In + I * ItemElems, Batch[I].Input.data(),
+                  sizeof(float) * static_cast<size_t>(ItemElems));
+    // Zero-pad the tail: padded rows compute garbage confined to their own
+    // output rows (per-item forward independence), which are never read.
+    if (Fill < BS)
+      std::memset(In + Fill * ItemElems, 0,
+                  sizeof(float) * static_cast<size_t>((BS - Fill) * ItemElems));
+
+    Timer Wall;
+    Ex.forward();
+    double Sec = Wall.seconds();
+
+    const float *Prob = Ex.data(Prog.ProbBuffer);
+    for (int64_t I = 0; I < Fill; ++I) {
+      Tensor Row(Shape({ClassElems}));
+      std::memcpy(Row.data(), Prob + I * ClassElems,
+                  sizeof(float) * static_cast<size_t>(ClassElems));
+      Batch[I].Result.set_value(std::move(Row));
+    }
+
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Stats.Batches;
+    Stats.Completed += Fill;
+    Stats.PaddedSlots += BS - Fill;
+    Stats.BusySec += Sec;
+    ++Stats.Fill[BS][Fill];
+  }
+}
+
+ServeStats Server::stats() const {
+  ServeStats S;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    S = Stats;
+  }
+  BatcherStats B = Batcher->stats();
+  S.FullFlushes = B.FullFlushes;
+  S.DeadlineFlushes = B.DeadlineFlushes;
+  S.DrainFlushes = B.DrainFlushes;
+  return S;
+}
+
+const compiler::Program &Server::program(int64_t BatchSize) const {
+  for (size_t BI = 0; BI < BatchSizes.size(); ++BI)
+    if (BatchSizes[BI] == BatchSize)
+      return *Programs[BI];
+  reportFatalError("Server::program: batch size " + std::to_string(BatchSize) +
+                   " is not precompiled");
+}
+
+const engine::Executor &Server::replicaExecutor(int R,
+                                                int64_t BatchSize) const {
+  if (R < 0 || static_cast<size_t>(R) >= Replicas.size())
+    reportFatalError("Server::replicaExecutor: bad replica index");
+  for (size_t BI = 0; BI < BatchSizes.size(); ++BI)
+    if (BatchSizes[BI] == BatchSize)
+      return *Replicas[static_cast<size_t>(R)].Execs[BI];
+  reportFatalError("Server::replicaExecutor: batch size " +
+                   std::to_string(BatchSize) + " is not precompiled");
+}
+
+int64_t Server::replicaArenaBytes() const {
+  int64_t Total = 0;
+  for (const Replica &Rep : Replicas)
+    for (const auto &Ex : Rep.Execs)
+      if (Ex->program().Plan.Valid)
+        Total += Ex->program().Plan.ArenaBytes;
+  return Total;
+}

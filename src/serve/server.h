@@ -1,0 +1,189 @@
+//===- serve/server.h - Latency-bounded inference serving ------*- C++ -*-===//
+///
+/// \file
+/// The inference serving runtime: single-item requests flow through a
+/// dynamic micro-batcher (serve/batcher.h) into N executor replicas. Each
+/// replica holds one inference-compiled executor per precompiled batch
+/// size (1/4/16 by default) and runs the smallest one that fits the popped
+/// batch, zero-padding the tail — sound because forward computation is
+/// independent per batch item (the compiler's batch loops never mix rows),
+/// so padded rows produce garbage in *their own* output rows only.
+///
+/// All replicas share one set of weight bytes: a weight-master executor
+/// owns the parameters and every replica repoints its Param-role buffers
+/// at the master's storage (engine::Executor::shareParamsFrom), so memory
+/// scales as one weight set plus N small forward-only activation arenas.
+///
+/// Compiled programs come from a process-global ProgramCache keyed by
+/// (graph fingerprint, compile-option class, batch size) — the first cut
+/// of the shape-polymorphic compile cache: starting a second server over
+/// the same model (or restarting one) reuses every compiled program and
+/// only pays Program::clone().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_SERVE_SERVER_H
+#define LATTE_SERVE_SERVER_H
+
+#include "compiler/compiler.h"
+#include "engine/executor.h"
+#include "models/models.h"
+#include "serve/batcher.h"
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace latte {
+namespace serve {
+
+struct ServeOptions {
+  /// Executor replicas (worker threads). Each owns one arena per batch
+  /// size; weights are shared with the master, never copied.
+  int Replicas = 2;
+  /// Precompiled batch sizes; sorted and deduplicated at construction.
+  /// The largest is the micro-batcher's flush size.
+  std::vector<int64_t> BatchSizes = {1, 4, 16};
+  /// Max time the oldest queued request waits before a partial batch is
+  /// released (the latency bound under sparse traffic).
+  int64_t FlushDeadlineMicros = 2000;
+  /// Pending-request shed threshold.
+  size_t QueueCapacity = 4096;
+  /// Weight initialization seed (initParams on the weight master).
+  uint64_t ParamSeed = 0x5eed;
+  /// Engine options for every replica executor (Profile works — the
+  /// global profiler keeps per-thread span buffers, so concurrent replica
+  /// forwards record safely; the weight master never serves and has it
+  /// forced off).
+  engine::ExecOptions Exec;
+};
+
+struct ServeStats {
+  int64_t Submitted = 0; ///< admitted requests
+  int64_t Shed = 0;      ///< rejected at capacity
+  int64_t Completed = 0; ///< fulfilled promises
+  int64_t Batches = 0;
+  int64_t PaddedSlots = 0; ///< zero rows run for tail batches
+  int64_t FullFlushes = 0;
+  int64_t DeadlineFlushes = 0;
+  int64_t DrainFlushes = 0;
+  /// batch size ran -> (items carried -> count). The batch-fill histogram
+  /// of the bench report: Fill[16][16] counts full batches, Fill[16][9] a
+  /// 9-item tail run at size 16.
+  std::map<int64_t, std::map<int64_t, int64_t>> Fill;
+  /// Wall seconds spent inside Executor::forward across all replicas.
+  double BusySec = 0.0;
+};
+
+/// Process-global cache of inference-compiled programs keyed by
+/// (model fingerprint, compile-option class, batch size). getOrCompile
+/// returns a shared immutable program; callers clone what they execute.
+class ProgramCache {
+public:
+  static ProgramCache &instance();
+
+  /// The cache key: an FNV-1a fingerprint of the spec's full topology plus
+  /// every compile switch that changes the assembled program, then the
+  /// batch size (the shape class). Exposed for tests.
+  static std::string key(const models::ModelSpec &Spec,
+                         const compiler::CompileOptions &Opts,
+                         int64_t BatchSize);
+
+  std::shared_ptr<const compiler::Program>
+  getOrCompile(const models::ModelSpec &Spec,
+               const compiler::CompileOptions &Opts, int64_t BatchSize);
+
+  struct Stats {
+    int64_t Hits = 0;
+    int64_t Misses = 0;
+  };
+  Stats stats() const;
+  void clear(); ///< tests only
+
+private:
+  ProgramCache() = default;
+  mutable std::mutex Mu;
+  std::map<std::string, std::shared_ptr<const compiler::Program>> Cache;
+  Stats St;
+};
+
+class Server {
+public:
+  /// Compiles (or cache-hits) one inference program per batch size and
+  /// builds Replicas x BatchSizes executors wired for weight sharing.
+  /// Does not start worker threads — call start().
+  Server(const models::ModelSpec &Spec, const compiler::CompileOptions &CO,
+         const ServeOptions &SO);
+  ~Server(); ///< stops and joins if still running
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  void start();
+  /// Stops admission, drains the queue, joins workers. Idempotent.
+  void stop();
+
+  /// Submits one item (shape must match the spec's InputDims element
+  /// count). Returns whether it was admitted; on admission *Out receives
+  /// the future for the output row ({NumClasses} probabilities).
+  bool submit(Tensor Item, std::future<Tensor> *Out);
+
+  /// Copies trained weights (by Param buffer name) into the weight master;
+  /// visible to all replicas immediately through pointer sharing. Call
+  /// before start().
+  void loadParamsFrom(const engine::Executor &Trained);
+
+  ServeStats stats() const;
+  const models::ModelSpec &spec() const { return Spec; }
+  int64_t maxBatch() const { return BatchSizes.back(); }
+  const std::vector<int64_t> &batchSizes() const { return BatchSizes; }
+
+  // --- introspection (tests / bench) --------------------------------------
+
+  const compiler::Program &program(int64_t BatchSize) const;
+  const engine::Executor &weightMaster() const { return *Master; }
+  engine::Executor &weightMaster() { return *Master; }
+  const engine::Executor &replicaExecutor(int Replica,
+                                          int64_t BatchSize) const;
+  /// Sum of per-replica forward-only arena bytes (the serving activation
+  /// footprint, excluding the shared weights).
+  int64_t replicaArenaBytes() const;
+
+private:
+  struct Replica {
+    /// One executor per batch size, BatchSizes order.
+    std::vector<std::unique_ptr<engine::Executor>> Execs;
+    std::thread Worker;
+  };
+
+  void workerLoop(Replica &Rep);
+  engine::Executor &pickExecutor(Replica &Rep, int64_t Fill,
+                                 int64_t *BatchSize);
+
+  models::ModelSpec Spec;
+  compiler::CompileOptions CompileOpts;
+  ServeOptions Opts;
+  std::vector<int64_t> BatchSizes; ///< sorted, deduplicated
+  int64_t ItemElems = 0;           ///< input elements per item
+  int64_t ClassElems = 0;          ///< output elements per item
+
+  std::vector<std::shared_ptr<const compiler::Program>> Programs;
+  std::unique_ptr<engine::Executor> Master; ///< owns the weights
+  std::vector<Replica> Replicas;
+
+  std::unique_ptr<MicroBatcher> Batcher;
+  bool Running = false;
+
+  mutable std::mutex StatsMu;
+  ServeStats Stats;
+};
+
+} // namespace serve
+} // namespace latte
+
+#endif // LATTE_SERVE_SERVER_H

@@ -24,9 +24,17 @@ const json::Value *findRow(const json::Value &Doc,
 
 CompareResult bench::compareBenchJson(const json::Value &Old,
                                       const json::Value &New,
-                                      double Threshold,
-                                      double MinDeltaSec) {
+                                      double Threshold, double MinDeltaSec,
+                                      const std::vector<std::string> *OnlyRows) {
   CompareResult R;
+  auto RowSelected = [&](const std::string &Label) {
+    if (!OnlyRows)
+      return true;
+    for (const std::string &L : *OnlyRows)
+      if (L == Label)
+        return true;
+    return false;
+  };
 
   std::string OldFig = Old.stringAt("figure"), NewFig = New.stringAt("figure");
   if (!OldFig.empty() && !NewFig.empty() && OldFig != NewFig)
@@ -42,6 +50,8 @@ CompareResult bench::compareBenchJson(const json::Value &Old,
   static const char *Metrics[] = {"fwd_sec", "bwd_sec", "total_sec"};
   for (const json::Value &OldRow : OldRows->items()) {
     std::string Label = OldRow.stringAt("label");
+    if (!RowSelected(Label))
+      continue;
     const json::Value *NewRow = findRow(New, Label);
     if (!NewRow) {
       R.Notes.push_back("row '" + Label + "' missing from new file");
@@ -85,11 +95,29 @@ CompareResult bench::compareBenchJson(const json::Value &Old,
       else if (D.OldSec > 0 && D.NewSec < D.OldSec / MemThreshold)
         R.Improvements.push_back(D);
     }
+    // Throughput-style ratio: higher is better, so the regression
+    // direction flips. No noise floor — a speedup is already a
+    // dimensionless ratio of two measurements from the same run.
+    const json::Value *OldSp = OldRow.find("speedup");
+    const json::Value *NewSp = NewRow->find("speedup");
+    if (OldSp && NewSp && OldSp->isNumber() && NewSp->isNumber()) {
+      MetricDelta D;
+      D.Label = Label;
+      D.Metric = "speedup";
+      D.OldSec = OldSp->asNumber();
+      D.NewSec = NewSp->asNumber();
+      R.Compared.push_back(D);
+      if (D.OldSec > 0 && D.NewSec < D.OldSec / Threshold)
+        R.Regressions.push_back(D);
+      else if (D.OldSec > 0 && D.NewSec > D.OldSec * Threshold)
+        R.Improvements.push_back(D);
+    }
     // Recompute counters are informational (the flops/bytes trade is a
     // deliberate compiler policy, not a perf signal): compared so the
-    // report shows drift, never gated.
+    // report shows drift, never gated. Request rates ride along the
+    // serving rows the same way — the gated signal there is "speedup".
     static const char *InfoMetrics[] = {"recompute_flops",
-                                        "retained_bytes_saved"};
+                                        "retained_bytes_saved", "rps"};
     for (const char *Metric : InfoMetrics) {
       const json::Value *OldV = OldRow.find(Metric);
       const json::Value *NewV = NewRow->find(Metric);
@@ -109,7 +137,7 @@ CompareResult bench::compareBenchJson(const json::Value &Old,
   if (NewRows && NewRows->isArray())
     for (const json::Value &NewRow : NewRows->items()) {
       std::string Label = NewRow.stringAt("label");
-      if (!findRow(Old, Label))
+      if (RowSelected(Label) && !findRow(Old, Label))
         R.Notes.push_back("row '" + Label + "' is new (no baseline)");
     }
   return R;
@@ -120,7 +148,12 @@ std::string bench::formatCompareReport(const CompareResult &R,
   std::string Out;
   char Buf[256];
   auto Line = [&](const MetricDelta &D, const char *Tag) {
-    if (D.Metric == "arena_bytes")
+    if (D.Metric == "speedup" || D.Metric == "rps")
+      std::snprintf(Buf, sizeof(Buf),
+                    "  %-10s %-28s %-11s %12.2f -> %12.2f  (%.2fx)\n",
+                    Tag, D.Label.c_str(), D.Metric.c_str(), D.OldSec,
+                    D.NewSec, D.ratio());
+    else if (D.Metric == "arena_bytes")
       std::snprintf(Buf, sizeof(Buf),
                     "  %-10s %-28s %-11s %9.1f MB -> %9.1f MB  (%.2fx)\n",
                     Tag, D.Label.c_str(), D.Metric.c_str(), D.OldSec / 1e6,
@@ -164,6 +197,10 @@ std::string bench::formatCompareMarkdown(const CompareResult &R,
       std::snprintf(Buf, sizeof(Buf), "%.1f MB", V / 1e6);
     else if (D.Metric == "recompute_flops")
       std::snprintf(Buf, sizeof(Buf), "%.2f Mflop", V / 1e6);
+    else if (D.Metric == "speedup")
+      std::snprintf(Buf, sizeof(Buf), "%.2fx", V);
+    else if (D.Metric == "rps")
+      std::snprintf(Buf, sizeof(Buf), "%.1f req/s", V);
     else
       std::snprintf(Buf, sizeof(Buf), "%.3f ms", V * 1e3);
     return std::string(Buf);

@@ -47,10 +47,20 @@ struct CompareResult {
 /// benchmarks gain rows over time. When both rows carry an "arena_bytes"
 /// memory column it is gated too, at a fixed 1.05x ratio (the planned
 /// arena is deterministic, so growth past alignment slack is a real
-/// planner regression, independent of the timing threshold).
+/// planner regression, independent of the timing threshold). A "speedup"
+/// column is gated in the opposite direction (higher is better: regressed
+/// when `new < old / Threshold`) — the serving bench reports its
+/// micro-batching throughput gain this way so the gate is
+/// machine-normalized (both sides of the ratio come from the same run on
+/// the same host). When \p OnlyRows is non-null, only rows whose label it
+/// contains are compared — CI uses this to hard-gate one row (the serving
+/// throughput floor) at a tight threshold while a second, informational
+/// invocation reports everything loosely.
 CompareResult compareBenchJson(const json::Value &Old,
                                const json::Value &New, double Threshold,
-                               double MinDeltaSec = 1e-4);
+                               double MinDeltaSec = 1e-4,
+                               const std::vector<std::string> *OnlyRows =
+                                   nullptr);
 
 /// Renders \p R as the human-readable report the CLI prints.
 std::string formatCompareReport(const CompareResult &R, double Threshold);

@@ -25,6 +25,8 @@ struct CheckTarget {
 
 std::string GradCheckReport::summary() const {
   std::ostringstream Os;
+  if (!Diagnostic.empty())
+    return "gradCheck REJECTED: " + Diagnostic;
   if (Passed) {
     Os << "gradCheck PASSED: " << NumChecked << " elements";
     if (Seed)
@@ -46,6 +48,20 @@ std::string GradCheckReport::summary() const {
 GradCheckReport verify::gradCheck(engine::Executor &Ex,
                                   const GradCheckOptions &Opts) {
   const Program &Prog = Ex.program();
+  // Inference-compiled programs have no backward tasks or gradient buffers
+  // to check — running them through the finite-difference loop would call
+  // Executor::backward() and die. Reject with a diagnostic report instead
+  // of crashing (the serving runtime hands such programs around freely).
+  if (Prog.Inference || !Prog.Backward) {
+    GradCheckReport Report;
+    Report.Passed = false;
+    Report.Seed = Opts.Seed;
+    Report.Diagnostic =
+        "gradCheck: program is inference-compiled (no backward tasks or "
+        "gradient buffers); recompile without CompileOptions::Inference "
+        "to check gradients";
+    return Report;
+  }
   if (Prog.LossBuffer.empty())
     reportFatalError("gradCheck: program has no loss ensemble");
 

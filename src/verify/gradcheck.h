@@ -57,6 +57,10 @@ struct GradCheckReport {
   int64_t NumChecked = 0;
   std::vector<GradCheckFailure> Failures;
   uint64_t Seed = 0;
+  /// Non-empty when the program could not be checked at all (e.g. an
+  /// inference-compiled program with no backward pass); Passed is false and
+  /// NumChecked is 0 in that case.
+  std::string Diagnostic;
 
   /// One-line pass summary, or a per-failure listing with the seed needed
   /// to reproduce.

@@ -1,0 +1,317 @@
+//===- tests/serve/serve_test.cpp - Serving runtime tests -----------------===//
+///
+/// Covers the inference serving stack end to end: the micro-batcher's two
+/// flush triggers and shedding, pointer-level weight sharing across
+/// replicas and batch sizes, tail-batch padding correctness, the
+/// shape-polymorphic compile cache, the forward-only memory plan, the
+/// inference/training bitwise-identity guarantee across the verification
+/// lattice, and the training-only APIs' rejection of inference programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/batcher.h"
+#include "serve/server.h"
+#include "support/timer.h"
+#include "verify/gradcheck.h"
+#include "verify/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+using namespace latte;
+
+namespace {
+
+models::ModelSpec testSpec() { return models::lenet(); }
+
+Tensor randomItem(const Shape &Dims, uint64_t Seed) {
+  Tensor T(Dims);
+  Rng R(Seed);
+  R.fillGaussian(T, 0.0f, 1.0f);
+  return T;
+}
+
+serve::Request makeRequest() {
+  serve::Request R;
+  R.Input = Tensor(Shape{1});
+  return R;
+}
+
+bool bitwiseEqual(const Tensor &A, const Tensor &B) {
+  return A.numElements() == B.numElements() &&
+         std::memcmp(A.data(), B.data(),
+                     sizeof(float) * static_cast<size_t>(A.numElements())) ==
+             0;
+}
+
+} // namespace
+
+// --- MicroBatcher ----------------------------------------------------------
+
+TEST(MicroBatcher, FlushesImmediatelyWhenBatchFull) {
+  serve::MicroBatcher B(4, std::chrono::microseconds(60'000'000), 64);
+  for (int I = 0; I < 4; ++I)
+    ASSERT_TRUE(B.enqueue(makeRequest()));
+  // Deadline is a minute out: only the batch-full trigger can release.
+  std::vector<serve::Request> Batch = B.popBatch();
+  EXPECT_EQ(Batch.size(), 4u);
+  EXPECT_EQ(B.stats().FullFlushes, 1);
+  EXPECT_EQ(B.stats().DeadlineFlushes, 0);
+  B.stop();
+}
+
+TEST(MicroBatcher, DeadlineReleasesPartialBatch) {
+  serve::MicroBatcher B(16, std::chrono::microseconds(2000), 64);
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(B.enqueue(makeRequest()));
+  Timer Wall;
+  std::vector<serve::Request> Batch = B.popBatch();
+  EXPECT_EQ(Batch.size(), 3u);
+  // Released by the deadline, not instantly and not never.
+  EXPECT_GE(Wall.seconds(), 0.001);
+  EXPECT_EQ(B.stats().DeadlineFlushes, 1);
+  EXPECT_EQ(B.stats().FullFlushes, 0);
+  B.stop();
+}
+
+TEST(MicroBatcher, ShedsAtCapacityAndAfterStop) {
+  serve::MicroBatcher B(4, std::chrono::microseconds(1000), 2);
+  EXPECT_TRUE(B.enqueue(makeRequest()));
+  EXPECT_TRUE(B.enqueue(makeRequest()));
+  EXPECT_FALSE(B.enqueue(makeRequest())); // over capacity
+  B.stop();
+  EXPECT_FALSE(B.enqueue(makeRequest())); // stopped
+  EXPECT_EQ(B.stats().Shed, 2);
+  // stop() drains the remainder, then signals termination with empty.
+  EXPECT_EQ(B.popBatch().size(), 2u);
+  EXPECT_TRUE(B.popBatch().empty());
+}
+
+TEST(MicroBatcher, BlockedConsumerWakesOnEnqueue) {
+  serve::MicroBatcher B(2, std::chrono::microseconds(50'000'000), 64);
+  std::atomic<int> Got{-1};
+  std::thread Consumer([&] {
+    Got = static_cast<int>(B.popBatch().size());
+  });
+  ASSERT_TRUE(B.enqueue(makeRequest()));
+  ASSERT_TRUE(B.enqueue(makeRequest()));
+  Consumer.join();
+  EXPECT_EQ(Got, 2);
+  B.stop();
+}
+
+// --- Server ----------------------------------------------------------------
+
+TEST(Server, SharesWeightPointersAcrossReplicasAndBatchSizes) {
+  serve::ServeOptions SO;
+  SO.Replicas = 2;
+  SO.BatchSizes = {1, 4};
+  serve::Server Srv(testSpec(), {}, SO);
+
+  const compiler::Program &Prog = Srv.weightMaster().program();
+  int Params = 0;
+  for (const compiler::BufferInfo &B : Prog.Buffers) {
+    if (B.Role != compiler::BufferRole::Param || !B.AliasOf.empty())
+      continue;
+    ++Params;
+    const float *MasterPtr = Srv.weightMaster().data(B.Name);
+    for (int R = 0; R < 2; ++R)
+      for (int64_t BS : {int64_t(1), int64_t(4)})
+        EXPECT_EQ(Srv.replicaExecutor(R, BS).data(B.Name), MasterPtr)
+            << "replica " << R << " batch " << BS << " buffer " << B.Name;
+  }
+  // LeNet: conv1/conv2/fc1/classifier weights + biases.
+  EXPECT_GE(Params, 4);
+}
+
+TEST(Server, TailBatchPaddingIsBitwiseCorrect) {
+  // Only batch size 4 is compiled, so 3 submissions force a padded tail
+  // batch once the deadline trips.
+  serve::ServeOptions SO;
+  SO.Replicas = 1;
+  SO.BatchSizes = {4};
+  SO.FlushDeadlineMicros = 1000;
+  SO.Exec.Deterministic = true;
+  models::ModelSpec Spec = testSpec();
+  serve::Server Srv(Spec, {}, SO);
+  Srv.start();
+
+  std::vector<Tensor> Items;
+  std::vector<std::future<Tensor>> Futs(3);
+  for (int I = 0; I < 3; ++I)
+    Items.push_back(randomItem(Spec.InputDims, 40 + I));
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(Srv.submit(Items[I], &Futs[I]));
+
+  // Single-item reference: a private batch-1 inference executor with the
+  // same parameter seed.
+  core::Net Net(1);
+  models::buildLatte(Net, Spec, /*WithLoss=*/true);
+  engine::ExecOptions EO;
+  EO.Seed = SO.ParamSeed;
+  EO.Deterministic = true;
+  engine::Executor Ref(compiler::compileForward(Net), EO);
+
+  for (int I = 0; I < 3; ++I) {
+    Tensor Served = Futs[I].get();
+    Ref.setInput(Items[I]);
+    Ref.forward();
+    Tensor Expect = Ref.readBuffer(Ref.program().ProbBuffer);
+    EXPECT_TRUE(bitwiseEqual(Served, Expect)) << "item " << I;
+  }
+  Srv.stop();
+  serve::ServeStats St = Srv.stats();
+  EXPECT_EQ(St.Completed, 3);
+  EXPECT_GE(St.PaddedSlots, 1);
+}
+
+TEST(Server, LoadParamsFromTrainedExecutor) {
+  models::ModelSpec Spec = testSpec();
+  core::Net Net(2);
+  models::buildLatte(Net, Spec, /*WithLoss=*/true);
+  engine::ExecOptions EO;
+  EO.Seed = 999; // deliberately different from the server's ParamSeed
+  engine::Executor Trained(compiler::compile(Net), EO);
+
+  serve::ServeOptions SO;
+  SO.Replicas = 1;
+  SO.BatchSizes = {1};
+  serve::Server Srv(Spec, {}, SO);
+  Srv.loadParamsFrom(Trained);
+  Srv.start();
+
+  Tensor Item = randomItem(Spec.InputDims, 7);
+  std::future<Tensor> Fut;
+  ASSERT_TRUE(Srv.submit(Item, &Fut));
+  Tensor Served = Fut.get();
+  Srv.stop();
+
+  core::Net RefNet(1);
+  models::buildLatte(RefNet, Spec, /*WithLoss=*/true);
+  engine::ExecOptions RefEO;
+  RefEO.Seed = 999;
+  engine::Executor Ref(compiler::compileForward(RefNet), RefEO);
+  Ref.setInput(Item);
+  Ref.forward();
+  EXPECT_TRUE(
+      bitwiseEqual(Served, Ref.readBuffer(Ref.program().ProbBuffer)));
+}
+
+TEST(Server, ProgramCacheHitsOnSecondServer) {
+  serve::ProgramCache &Cache = serve::ProgramCache::instance();
+  serve::ServeOptions SO;
+  SO.Replicas = 1;
+  SO.BatchSizes = {1, 2};
+  models::ModelSpec Spec = testSpec();
+  Spec.Name = "LeNet-cache-test"; // private cache entries for this test
+
+  serve::Server A(Spec, {}, SO);
+  serve::ProgramCache::Stats S1 = Cache.stats();
+  serve::Server B(Spec, {}, SO);
+  serve::ProgramCache::Stats S2 = Cache.stats();
+  EXPECT_EQ(S2.Misses, S1.Misses);     // second server compiled nothing
+  EXPECT_EQ(S2.Hits, S1.Hits + 2);     // both batch sizes reused
+  EXPECT_EQ(&A.program(1), &B.program(1)); // same shared compilation
+
+  // A different shape class or option class is a different cache key.
+  compiler::CompileOptions CO;
+  EXPECT_NE(serve::ProgramCache::key(Spec, CO, 1),
+            serve::ProgramCache::key(Spec, CO, 2));
+  compiler::CompileOptions NoFusion = CO;
+  NoFusion.Fusion = false;
+  EXPECT_NE(serve::ProgramCache::key(Spec, CO, 1),
+            serve::ProgramCache::key(Spec, NoFusion, 1));
+}
+
+// --- inference compilation -------------------------------------------------
+
+TEST(InferenceCompile, ForwardOnlyArenaIsStrictlySmaller) {
+  core::Net Net(8);
+  models::buildLatte(Net, testSpec(), /*WithLoss=*/true);
+  compiler::Program Train = compiler::compile(Net);
+  compiler::Program Infer = compiler::compileForward(Net);
+  ASSERT_TRUE(Train.Plan.Valid);
+  ASSERT_TRUE(Infer.Plan.Valid);
+  EXPECT_LT(Infer.Plan.ArenaBytes, Train.Plan.ArenaBytes);
+  EXPECT_LT(Infer.Buffers.size(), Train.Buffers.size());
+  EXPECT_TRUE(Infer.Inference);
+  EXPECT_EQ(Infer.Backward, nullptr);
+  EXPECT_TRUE(Infer.Params.empty());
+  EXPECT_TRUE(Infer.BackwardTasks.empty());
+  // No gradient or solver buffers survive the strip.
+  for (const compiler::BufferInfo &B : Infer.Buffers) {
+    EXPECT_NE(B.Role, compiler::BufferRole::Grad) << B.Name;
+    EXPECT_NE(B.Role, compiler::BufferRole::ParamGrad) << B.Name;
+    EXPECT_NE(B.Role, compiler::BufferRole::GradInput) << B.Name;
+  }
+}
+
+TEST(InferenceCompile, ForwardBitwiseIdenticalToTrainingAcrossLattice) {
+  // The tentpole guarantee: for every lattice point of the per-PR tier,
+  // the inference-compiled forward produces bit-identical buffers to the
+  // training-compiled forward under the same switches. NoMemPlan keeps
+  // every buffer readable; Deterministic pins the dropout RNG (vacuous for
+  // LeNet, but keeps the recipe right).
+  models::ModelSpec Spec = testSpec();
+  core::Net Net(2);
+  models::buildLatte(Net, Spec, /*WithLoss=*/true);
+  Tensor Input = randomItem(Spec.InputDims.withPrefix(2), 0xDA7A);
+
+  verify::LatticeOptions LO; // tile geometry that bites on tiny nets
+  for (unsigned Mask : verify::sweepMasks()) {
+    compiler::CompileOptions CO = verify::optionsForMask(Mask, LO);
+    engine::ExecOptions EO;
+    EO.VectorKernels = CO.VectorKernels;
+    EO.Parallel = CO.Parallelize;
+    EO.Deterministic = true;
+    EO.NoMemPlan = true;
+    EO.Seed = LO.ParamSeed;
+    engine::Executor Train(compiler::compile(Net, CO), EO);
+    engine::Executor Infer(compiler::compileForward(Net, CO), EO);
+    Train.setInput(Input);
+    Infer.setInput(Input);
+    Train.forward();
+    Infer.forward();
+
+    int64_t Compared = 0;
+    for (const compiler::BufferInfo &B : Infer.program().Buffers) {
+      if (!B.AliasOf.empty())
+        continue; // roots own the bytes; aliases would double-count
+      if (!Train.program().findBuffer(B.Name))
+        continue;
+      Tensor Want = Train.readBuffer(B.Name);
+      Tensor Got = Infer.readBuffer(B.Name);
+      ASSERT_TRUE(bitwiseEqual(Got, Want))
+          << "buffer " << B.Name << " diverges at mask " << Mask << " ("
+          << verify::flagString(CO) << ")";
+      ++Compared;
+    }
+    ASSERT_GE(Compared, 8) << "mask " << Mask << " compared too little";
+  }
+}
+
+// --- training-only APIs reject inference programs --------------------------
+
+TEST(InferenceCompile, BackwardIsFatalWithDiagnostic) {
+  core::Net Net(2);
+  models::buildLatte(Net, testSpec(), /*WithLoss=*/true);
+  engine::Executor Ex(compiler::compileForward(Net));
+  Ex.forward(); // forward still works
+  EXPECT_DEATH(Ex.backward(), "inference-compiled");
+}
+
+TEST(InferenceCompile, GradCheckRejectsWithDiagnosticInsteadOfCrashing) {
+  core::Net Net(2);
+  models::buildLatte(Net, testSpec(), /*WithLoss=*/true);
+  engine::ExecOptions EO;
+  EO.Deterministic = true;
+  engine::Executor Ex(compiler::compileForward(Net), EO);
+  verify::GradCheckReport R = verify::gradCheck(Ex);
+  EXPECT_FALSE(R.Passed);
+  EXPECT_EQ(R.NumChecked, 0);
+  EXPECT_FALSE(R.Diagnostic.empty());
+  EXPECT_NE(R.summary().find("REJECTED"), std::string::npos);
+}
