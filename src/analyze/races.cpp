@@ -322,7 +322,8 @@ std::string dimsString(const std::vector<ParallelDim> &Dims) {
 
 void analyze::detectRaces(const UnitEffects &UE, bool IsBackward,
                           const std::string &TaskLabel,
-                          DiagnosticReport &Diags) {
+                          DiagnosticReport &Diags,
+                          const std::set<std::string> *RotatedRoots) {
   if (UE.Dims.empty())
     return;
   bool AnyDistinct = std::any_of(
@@ -332,6 +333,20 @@ void analyze::detectRaces(const UnitEffects &UE, bool IsBackward,
     return; // a single iteration point cannot race with itself
 
   for (const auto &[Buffer, Accesses] : UE.Effects.Buffers) {
+    if (RotatedRoots && RotatedRoots->count(Buffer)) {
+      // Slice-rotated pool: distinct batch iterations mapping to the same
+      // slice alias by construction. The executor serializes same-slice
+      // items (slice-grouped schedule) and plan.subunit.* cross-validates
+      // the rotated footprints, so pairwise intersection would only
+      // re-report the intended aliasing.
+      Diagnostic &D = Diags.note(
+          "race.rotated-slice",
+          "slice-rotated buffer: same-slice iterations serialized by the "
+          "engine's slice-grouped schedule (see compiler/rotate.h)");
+      D.Task = TaskLabel;
+      D.Buffer = Buffer;
+      continue;
+    }
     bool AnyWrite =
         std::any_of(Accesses.begin(), Accesses.end(),
                     [](const Access &A) { return A.Write; });

@@ -16,6 +16,11 @@
 ///     commutative `+=` accumulation in a backward program — the declared
 ///     §6 lossy-gradient path. Flagged, not silenced: the engine only runs
 ///     these loops in parallel when `LossyGradients` is set.
+///   - `race.rotated-slice` (Note): the buffer is a slice-rotated root
+///     (compiler/rotate.h). Distinct batch iterations that map to the same
+///     pool slice do alias, but the executor's slice-grouped schedule
+///     serializes them; the verifier's plan.subunit.* checks validate the
+///     rotated footprints, so pairwise intersection is skipped here.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +30,7 @@
 #include "analyze/diagnostics.h"
 #include "analyze/effects.h"
 
+#include <set>
 #include <string>
 
 namespace latte {
@@ -33,9 +39,12 @@ namespace analyze {
 /// Checks one parallel task unit's effects for cross-iteration conflicts and
 /// appends race.* diagnostics to \p Diags. \p IsBackward selects the lossy
 /// accumulation whitelist; \p TaskLabel tags the diagnostics. A unit with no
-/// parallel dimensions never conflicts with itself.
+/// parallel dimensions never conflicts with itself. \p RotatedRoots (may be
+/// null) names the unit's slice-rotated buffers, whose cross-iteration
+/// aliasing is intentional and scheduled around (see race.rotated-slice).
 void detectRaces(const UnitEffects &UE, bool IsBackward,
-                 const std::string &TaskLabel, DiagnosticReport &Diags);
+                 const std::string &TaskLabel, DiagnosticReport &Diags,
+                 const std::set<std::string> *RotatedRoots = nullptr);
 
 } // namespace analyze
 } // namespace latte

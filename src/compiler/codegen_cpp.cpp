@@ -176,6 +176,26 @@ void CppEmitter::emitStmt(const Stmt *S, int Indent) {
   }
   case Stmt::Kind::For: {
     const auto *F = cast<ForStmt>(S);
+    // Slice-rotated batch loop (compiler/rotate.h): iterations sharing a
+    // rotated slice (equal n mod SliceModulus) must not run concurrently,
+    // so the parallel dimension is the slice index and items within a
+    // slice run serially in batch order.
+    if (int64_t SliceMod = F->annotations().SliceModulus;
+        F->annotations().Parallel && SliceMod > 0) {
+      std::string SLo = exprToC(F->lo());
+      std::string Sl = F->var() + "_slice";
+      line(Indent, "#pragma omp parallel for schedule(static, 1)");
+      line(Indent, "for (int64_t " + Sl + " = 0; " + Sl + " < " +
+                       std::to_string(SliceMod) + "; ++" + Sl + ") {");
+      line(Indent + 1, "for (int64_t " + F->var() + " = " + SLo + " + " + Sl +
+                           "; " + F->var() + " < " + SLo + " + " +
+                           std::to_string(F->extent()) + "; " + F->var() +
+                           " += " + std::to_string(SliceMod) + ") {");
+      emitStmt(F->body(), Indent + 2);
+      line(Indent + 1, "}");
+      line(Indent, "}");
+      return;
+    }
     // The paper's parallelization construct (§5.4.3).
     const TiledLoopStmt *Collapsed = nullptr;
     if (F->annotations().Parallel && F->annotations().Collapse == 2)
@@ -1181,6 +1201,11 @@ bool JitEmitter::jittable(const Stmt *S) const {
         return false;
     return true;
   case Stmt::Kind::For:
+    // Slice-rotated batch loops need the executor's slice-grouped schedule
+    // (iterations sharing a rotated slice must not run concurrently);
+    // decline so the per-task interpreter fallback applies.
+    if (cast<ForStmt>(S)->annotations().SliceModulus > 0)
+      return false;
     return jittable(cast<ForStmt>(S)->body());
   case Stmt::Kind::TiledLoop:
     return jittable(cast<TiledLoopStmt>(S)->body());

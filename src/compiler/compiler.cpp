@@ -7,6 +7,7 @@
 #include "compiler/memplan.h"
 #include "compiler/passes.h"
 #include "compiler/recompute.h"
+#include "compiler/rotate.h"
 #include "compiler/synthesis.h"
 #include "ir/printer.h"
 #include "support/casting.h"
@@ -118,6 +119,12 @@ Program compiler::compile(const core::Net &Net, const CompileOptions &Opts) {
     prof::ScopedTimer T("recompute");
     recomputeGathers(Prog);
   }
+  if (Opts.SliceRotation) {
+    // After recompute/strip (both reshape the timeline) and before
+    // planMemory (which sizes arena lifetimes from the shrunk Dims).
+    prof::ScopedTimer T("slice-rotation");
+    rotateSlices(Prog, Opts);
+  }
   {
     prof::ScopedTimer T("memplan");
     Prog.Plan = planMemory(Prog);
@@ -151,6 +158,7 @@ std::vector<PassStage> compiler::compileStaged(const core::Net &Net,
   Cur.Parallelize = false;
   Cur.VectorKernels = false;
   Cur.Recompute = false;
+  Cur.SliceRotation = false;
 
   struct Switch {
     const char *Name;
@@ -164,6 +172,7 @@ std::vector<PassStage> compiler::compileStaged(const core::Net &Net,
       {"+fusion", &CompileOptions::Fusion},
       {"+parallelize", &CompileOptions::Parallelize},
       {"+recompute", &CompileOptions::Recompute},
+      {"+slice-rotation", &CompileOptions::SliceRotation},
   };
 
   std::vector<PassStage> Stages;

@@ -1,0 +1,280 @@
+//===- compiler/rotate.cpp - Per-item slice rotation ----------*- C++ -*-===//
+
+#include "compiler/rotate.h"
+
+#include "analyze/effects.h"
+#include "compiler/program.h"
+#include "ir/builder.h"
+#include "ir/stmt.h"
+#include "ir/visitor.h"
+#include "support/casting.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace latte;
+using namespace latte::compiler;
+using namespace latte::ir;
+
+namespace {
+
+/// n -> n - D*(n/D)  (== n % D for non-negative n). The effect analysis
+/// recognizes this composite as the bounded pseudo-variable "n%D", so
+/// footprints of rotated accesses stay exact instead of widening on the
+/// division.
+ExprPtr modComposite(const std::string &Var, int64_t D) {
+  return sub(var(Var), mul(intConst(D), div(var(Var), intConst(D))));
+}
+
+/// Rewrites every occurrence of \p BatchVar inside an index/offset
+/// expression of a rotated access. Index expressions of assembled programs
+/// contain only IntConst / Var / Binary nodes (the verifier rejects
+/// anything else in integer positions), so the rewrite is total.
+ExprPtr rotateIndexExpr(ExprPtr E, const std::string &BatchVar, int64_t D) {
+  if (!E)
+    return E;
+  switch (E->kind()) {
+  case Expr::Kind::Var:
+    if (cast<VarExpr>(E.get())->name() == BatchVar)
+      return modComposite(BatchVar, D);
+    return E;
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E.get());
+    BinaryOpKind Op = B->op();
+    ExprPtr L = rotateIndexExpr(B->takeLhs(), BatchVar, D);
+    ExprPtr R = rotateIndexExpr(B->takeRhs(), BatchVar, D);
+    return binary(Op, std::move(L), std::move(R));
+  }
+  default:
+    return E;
+  }
+}
+
+/// Rewrites the index vectors of every Load on a buffer in \p Members
+/// inside \p E (loads sit under binaries, unaries, compares, and selects
+/// in store values and conditions).
+void rotateLoads(Expr *E, const std::set<std::string> &Members,
+                 const std::string &BatchVar, int64_t D) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case Expr::Kind::Load: {
+    auto *L = cast<LoadExpr>(E);
+    if (Members.count(L->buffer()))
+      for (ExprPtr &I : L->indices())
+        I = rotateIndexExpr(std::move(I), BatchVar, D);
+    for (ExprPtr &I : L->indices())
+      rotateLoads(I.get(), Members, BatchVar, D);
+    return;
+  }
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    rotateLoads(B->lhs(), Members, BatchVar, D);
+    rotateLoads(B->rhs(), Members, BatchVar, D);
+    return;
+  }
+  case Expr::Kind::Unary:
+    rotateLoads(cast<UnaryExpr>(E)->operand(), Members, BatchVar, D);
+    return;
+  case Expr::Kind::Compare: {
+    auto *C = cast<CompareExpr>(E);
+    rotateLoads(C->lhs(), Members, BatchVar, D);
+    rotateLoads(C->rhs(), Members, BatchVar, D);
+    return;
+  }
+  case Expr::Kind::Select: {
+    auto *Sel = cast<SelectExpr>(E);
+    rotateLoads(Sel->cond(), Members, BatchVar, D);
+    rotateLoads(Sel->trueValue(), Members, BatchVar, D);
+    rotateLoads(Sel->falseValue(), Members, BatchVar, D);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+/// Rewrites every access to a buffer in \p Members throughout the unit
+/// body: store indices, load indices anywhere an expression can appear,
+/// and kernel buffer-argument offsets.
+void rotateUnit(Stmt *S, const std::set<std::string> &Members,
+                const std::string &BatchVar, int64_t D) {
+  walkStmts(S, [&](Stmt *Node) {
+    switch (Node->kind()) {
+    case Stmt::Kind::For:
+      rotateLoads(cast<ForStmt>(Node)->lo(), Members, BatchVar, D);
+      return;
+    case Stmt::Kind::If: {
+      auto *If = cast<IfStmt>(Node);
+      ExprPtr C = If->takeCond();
+      rotateLoads(C.get(), Members, BatchVar, D);
+      If->setCond(std::move(C));
+      return;
+    }
+    case Stmt::Kind::Store: {
+      auto *St = cast<StoreStmt>(Node);
+      if (Members.count(St->buffer()))
+        for (ExprPtr &I : St->indices())
+          I = rotateIndexExpr(std::move(I), BatchVar, D);
+      for (ExprPtr &I : St->indices())
+        rotateLoads(I.get(), Members, BatchVar, D);
+      rotateLoads(St->value(), Members, BatchVar, D);
+      return;
+    }
+    case Stmt::Kind::Decl:
+      rotateLoads(cast<DeclStmt>(Node)->init(), Members, BatchVar, D);
+      return;
+    case Stmt::Kind::AssignVar:
+      rotateLoads(cast<AssignVarStmt>(Node)->value(), Members, BatchVar, D);
+      return;
+    case Stmt::Kind::KernelCall: {
+      auto *K = cast<KernelCallStmt>(Node);
+      for (KernelBufArg &A : K->bufs()) {
+        if (!A.Offset)
+          continue; // null offset = 0: no batch term to rewrite
+        if (Members.count(A.Buffer))
+          A.Offset = rotateIndexExpr(std::move(A.Offset), BatchVar, D);
+        rotateLoads(A.Offset.get(), Members, BatchVar, D);
+      }
+      for (ExprPtr &X : K->exprArgs())
+        rotateLoads(X.get(), Members, BatchVar, D);
+      return;
+    }
+    default:
+      return;
+    }
+  });
+}
+
+} // namespace
+
+int compiler::rotateSlices(Program &Prog, const CompileOptions &Opts) {
+  if (!Opts.SliceRotation || Prog.BatchSize <= 1)
+    return 0;
+  analyze::BufferTable Bufs(Prog);
+
+  // Timeline of top-level units, forward first — the same global unit
+  // indexing the planner and verifier use.
+  std::vector<Stmt *> Timeline;
+  auto AddUnits = [&](Stmt *Root) {
+    if (auto *B = dyn_cast_if_present<BlockStmt>(Root))
+      for (StmtPtr &Child : B->stmts())
+        Timeline.push_back(Child.get());
+  };
+  AddUnits(Prog.Forward.get());
+  AddUnits(Prog.Backward.get());
+
+  // Which timeline units reference which float roots: a rotation candidate
+  // must live and die inside one unit.
+  std::map<std::string, std::vector<int>> RefUnits;
+  for (size_t U = 0; U < Timeline.size(); ++U) {
+    analyze::UnitEffects UE =
+        analyze::collectUnitEffects(Timeline[U], Bufs, nullptr);
+    for (const auto &[Root, Accesses] : UE.Effects.Buffers)
+      if (Root.rfind("int:", 0) != 0)
+        RefUnits[Root].push_back(static_cast<int>(U));
+  }
+
+  // Alias members per root (the root itself included).
+  std::map<std::string, std::vector<BufferInfo *>> MembersOf;
+  for (BufferInfo &B : Prog.Buffers)
+    if (const BufferInfo *Root = Prog.resolveAlias(B.Name))
+      MembersOf[Root->Name].push_back(&B);
+
+  int NumRotated = 0;
+  for (size_t U = 0; U < Timeline.size(); ++U) {
+    auto *F = dyn_cast<ForStmt>(Timeline[U]);
+    if (!F)
+      continue;
+    int64_t B = F->extent();
+    int64_t Lo = -1;
+    if (B <= 1 || !evalConstInt(F->lo(), Lo) || Lo != 0)
+      continue;
+    // The rewrite substitutes every use of the batch variable inside
+    // accesses to the rotated buffer; a shadowing inner loop would make
+    // that substitution wrong, so refuse the whole unit.
+    bool Shadowed = false;
+    // Intra-item dependence depth: producer/consumer tile distances inside
+    // the chain bound how many item slices the schedule keeps in flight.
+    int64_t MaxDist = 0;
+    walkStmts(static_cast<const Stmt *>(F->body()),
+              [&](const Stmt *S) {
+                if (const auto *In = dyn_cast<ForStmt>(S);
+                    In && In->var() == F->var())
+                  Shadowed = true;
+                if (const auto *T = dyn_cast<TiledLoopStmt>(S)) {
+                  if (T->tileVar() == F->var())
+                    Shadowed = true;
+                  MaxDist = std::max(MaxDist, T->dependenceDistance());
+                }
+              });
+    if (Shadowed)
+      continue;
+    int64_t D = std::max<int64_t>({2, MaxDist + 1, Opts.RotateSlices});
+    if (D >= B)
+      continue; // pool as large as the batch: nothing to save
+
+    std::map<std::string, analyze::SliceInfo> Classes =
+        analyze::classifySubUnit(F, Bufs);
+    bool RotatedHere = false;
+    for (const auto &[Root, Info] : Classes) {
+      if (Info.Class != analyze::SliceClass::ItemPrivate || !Info.ItemFresh)
+        continue;
+      const analyze::BufferTable::FloatInfo *FI = Bufs.floatInfo(Root);
+      if (!FI)
+        continue;
+      // Only non-observable intermediates: Value/Grad/ParamGrad buffers
+      // are compared whole-batch by the lattice oracle and the gradient
+      // checker, Param/Data are externally owned.
+      if (FI->Role != BufferRole::Input &&
+          FI->Role != BufferRole::GradInput &&
+          FI->Role != BufferRole::Scratch)
+        continue;
+      auto RefIt = RefUnits.find(Root);
+      if (RefIt == RefUnits.end() || RefIt->second.size() != 1 ||
+          RefIt->second[0] != static_cast<int>(U))
+        continue;
+      if (Info.ItemElems <= 0 || FI->Count != B * Info.ItemElems)
+        continue;
+      std::vector<BufferInfo *> &Members = MembersOf[Root];
+      bool LeadsWithBatch = !Members.empty();
+      for (BufferInfo *M : Members)
+        if (M->Dims.rank() == 0 || M->Dims[0] != B)
+          LeadsWithBatch = false;
+      if (!LeadsWithBatch)
+        continue;
+
+      std::set<std::string> Names;
+      for (BufferInfo *M : Members)
+        Names.insert(M->Name);
+      rotateUnit(F->body(), Names, F->var(), D);
+      for (BufferInfo *M : Members) {
+        std::vector<int64_t> NewDims = M->Dims.dims();
+        NewDims[0] = D;
+        M->Dims = Shape(std::move(NewDims));
+      }
+      RotationInfo RI;
+      RI.Buffer = Root;
+      RI.Unit = static_cast<int>(U);
+      RI.Slices = D;
+      RI.SliceElems = Info.ItemElems;
+      RI.SavedBytes =
+          (B - D) * Info.ItemElems * static_cast<int64_t>(sizeof(float));
+      Prog.Rotations.push_back(std::move(RI));
+      ++NumRotated;
+      RotatedHere = true;
+    }
+    if (RotatedHere) {
+      F->annotations().SliceModulus = D;
+      F->annotations().Collapse = 1; // slice schedule replaces collapse(2)
+    }
+  }
+  if (NumRotated)
+    Prog.Report.Notes.push_back("slice rotation: " +
+                                std::to_string(NumRotated) +
+                                " buffer(s) shrunk to modular pools");
+  return NumRotated;
+}

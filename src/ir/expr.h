@@ -187,6 +187,8 @@ public:
   CompareOpKind op() const { return Op; }
   const Expr *lhs() const { return LHS.get(); }
   const Expr *rhs() const { return RHS.get(); }
+  Expr *lhs() { return LHS.get(); }
+  Expr *rhs() { return RHS.get(); }
 
   ExprPtr clone() const override;
 
@@ -207,6 +209,9 @@ public:
   const Expr *cond() const { return Cond.get(); }
   const Expr *trueValue() const { return TrueValue.get(); }
   const Expr *falseValue() const { return FalseValue.get(); }
+  Expr *cond() { return Cond.get(); }
+  Expr *trueValue() { return TrueValue.get(); }
+  Expr *falseValue() { return FalseValue.get(); }
 
   ExprPtr clone() const override;
 

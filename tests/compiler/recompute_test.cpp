@@ -13,10 +13,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyze/effects.h"
+#include "analyze/verifier.h"
 #include "compiler/compiler.h"
 #include "compiler/memplan.h"
 #include "compiler/recompute.h"
+#include "ir/visitor.h"
 #include "models/models.h"
+#include "support/casting.h"
 
 #include <gtest/gtest.h>
 
@@ -125,6 +128,37 @@ TEST(RecomputeTest, RecomputeOffRetainsGatherAcrossBoundary) {
   const auto *BwdOff = static_cast<const ir::BlockStmt *>(Off.Backward.get());
   EXPECT_EQ(BwdOn->stmts().size(),
             BwdOff->stmts().size() + On.Recomputes.size());
+}
+
+// Regression: a recomputed root has TWO live intervals, and the verifier
+// must compare the clone's write footprints against the forward
+// producer's instead of trusting the first interval. A clone that
+// re-gathers fewer rows than the producer wrote silently truncates the
+// second interval — plan.recompute.coverage has to catch it.
+TEST(RecomputeTest, TruncatedRecomputeCloneFailsCoverage) {
+  Program P = compileModel(models::vggFirstThreeLayers(0.06), 2, {});
+  ASSERT_FALSE(P.Recomputes.empty());
+  ASSERT_FALSE(analyze::verifyProgram(P).hasErrors());
+
+  // Halve the RowCount of the clone's im2col re-gather: its write
+  // footprint becomes a strict subset of the forward unit's.
+  const RecomputeInfo &RI = P.Recomputes.front();
+  auto *Bwd = static_cast<ir::BlockStmt *>(P.Backward.get());
+  bool Shrunk = false;
+  ir::walkStmts(Bwd->stmts()[RI.BackwardUnit].get(), [&](ir::Stmt *S) {
+    auto *K = dyn_cast<ir::KernelCallStmt>(S);
+    if (!K || K->kernel() != ir::KernelKind::Im2ColRows || Shrunk)
+      return;
+    int64_t &RowCount = K->intArgs()[6];
+    ASSERT_GT(RowCount, 1);
+    RowCount /= 2;
+    Shrunk = true;
+  });
+  ASSERT_TRUE(Shrunk) << "clone has no im2col gather to truncate";
+
+  analyze::DiagnosticReport R = analyze::verifyProgram(P);
+  EXPECT_TRUE(R.hasErrors());
+  EXPECT_TRUE(R.hasCode("plan.recompute.coverage")) << R.render();
 }
 
 TEST(RecomputeTest, SecondBackwardConsumerDisqualifiesTheBuffer) {

@@ -1,7 +1,7 @@
 //===- tests/verify/lattice_test.cpp --------------------------*- C++ -*-===//
 ///
 /// The optimization-lattice differential oracle: the swept combinations of
-/// the seven CompileOptions switches (all 2^7 = 128 points at the deep
+/// the nine CompileOptions switches (all 2^9 = 512 points at the deep
 /// tier, the curated verify::sweepMasks() subset per-PR) must produce the
 /// same forward outputs and parameter gradients as the fully-unoptimized
 /// interpreter, on three hand-built nets covering the GEMM path, the
@@ -80,21 +80,22 @@ void buildCustomNet(Net &Net) {
 } // namespace
 
 TEST(LatticeTest, OptionsForMaskCoversAllSwitches) {
-  EXPECT_EQ(verify::kNumLatticeSwitches, 8u);
+  EXPECT_EQ(verify::kNumLatticeSwitches, 9u);
   CompileOptions None = verify::optionsForMask(0);
   EXPECT_FALSE(None.PatternMatchGemm || None.PatternMatchKernels ||
                None.Tiling || None.Fusion || None.Parallelize ||
-               None.VectorKernels || None.Recompute || None.Jit);
-  CompileOptions All = verify::optionsForMask(255);
+               None.VectorKernels || None.Recompute || None.Jit ||
+               None.SliceRotation);
+  CompileOptions All = verify::optionsForMask(511);
   EXPECT_TRUE(All.PatternMatchGemm && All.PatternMatchKernels && All.Tiling &&
               All.Fusion && All.Parallelize && All.VectorKernels &&
-              All.Recompute && All.Jit);
+              All.Recompute && All.Jit && All.SliceRotation);
   // Each bit flips exactly one switch.
   for (unsigned Bit = 0; Bit < verify::kNumLatticeSwitches; ++Bit) {
     CompileOptions C = verify::optionsForMask(1u << Bit);
     int On = C.PatternMatchGemm + C.PatternMatchKernels + C.Tiling +
              C.Fusion + C.Parallelize + C.VectorKernels + C.Recompute +
-             C.Jit;
+             C.Jit + C.SliceRotation;
     EXPECT_EQ(On, 1) << "bit " << Bit;
   }
   std::string S = verify::flagString(All);
@@ -102,6 +103,7 @@ TEST(LatticeTest, OptionsForMaskCoversAllSwitches) {
   EXPECT_NE(S.find("vector=1"), std::string::npos);
   EXPECT_NE(S.find("recompute=1"), std::string::npos);
   EXPECT_NE(S.find("jit=1"), std::string::npos);
+  EXPECT_NE(S.find("rotate=1"), std::string::npos);
 }
 
 TEST(LatticeTest, SweepMasksCoverTier) {
@@ -112,15 +114,18 @@ TEST(LatticeTest, SweepMasksCoverTier) {
     EXPECT_EQ(Masks.size(), 1u << verify::kNumLatticeSwitches);
   } else {
     // Per-PR tier: reference + full recompute-on sub-lattice + the
-    // all-but-recompute point + three JIT probes, at roughly the
-    // pre-recompute sweep cost (the full JIT x base cross product lives
-    // in jit_diff_test and the deep tier).
-    EXPECT_EQ(Masks.size(), 69u);
+    // all-but-recompute point + three JIT probes + three slice-rotation
+    // probes, at roughly the pre-recompute sweep cost (the full JIT x
+    // base cross product lives in jit_diff_test and the deep tier).
+    EXPECT_EQ(Masks.size(), 72u);
     EXPECT_NE(std::find(Masks.begin(), Masks.end(), 0x7fu), Masks.end());
     EXPECT_NE(std::find(Masks.begin(), Masks.end(), 0x3fu), Masks.end());
     EXPECT_NE(std::find(Masks.begin(), Masks.end(), 0x80u), Masks.end());
     EXPECT_NE(std::find(Masks.begin(), Masks.end(), 0xC0u), Masks.end());
     EXPECT_NE(std::find(Masks.begin(), Masks.end(), 0xFFu), Masks.end());
+    EXPECT_NE(std::find(Masks.begin(), Masks.end(), 0x100u), Masks.end());
+    EXPECT_NE(std::find(Masks.begin(), Masks.end(), 0x140u), Masks.end());
+    EXPECT_NE(std::find(Masks.begin(), Masks.end(), 0x1FFu), Masks.end());
   }
   for (unsigned M : Masks)
     EXPECT_LT(M, 1u << verify::kNumLatticeSwitches);

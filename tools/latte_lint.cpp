@@ -3,15 +3,20 @@
 /// \file
 /// latte-lint: compiles a shipped model (src/models/) at a chosen
 /// CompileOptions lattice point (or the tier's sweep of them —
-/// verify::sweepMasks, all 2^7 under LATTE_DEEP=1), runs the static
+/// verify::sweepMasks, all 2^9 under LATTE_DEEP=1), runs the static
 /// verifier + race detector, and prints structured diagnostics, optionally
-/// with per-task effect-set dumps. Exit code 1 when any Error diagnostic
-/// was produced, 0 otherwise (warnings and the declared §6 lossy
-/// accumulation notes do not fail the run).
+/// with per-task effect-set dumps (--dump-effects) and per-chain sub-unit
+/// slice classifications (--dump-subunit). --inference lints the
+/// compileForward() program instead of the training compile — the
+/// stripped buffer table and forward-only memory plan go through the same
+/// verifier. Exit code 1 when any Error diagnostic was produced, 0
+/// otherwise (warnings and the declared §6 lossy accumulation notes do
+/// not fail the run).
 ///
 /// The --corrupt mode injects one of the hand-corruption fixtures the
 /// verifier tests key on (shape-mismatch, use-before-def, dropped-barrier,
-/// cross-iteration-write, plan-overlap, plan-oob, recompute-after-use)
+/// cross-iteration-write, plan-overlap, plan-oob, recompute-after-use,
+/// forged-item-private, undersized-rotation)
 /// into the compiled program before verification;
 /// with --expect CODE it exits 0 iff the verifier found errors including
 /// CODE — i.e. iff an uncorrupted lint run *would* have exited 1.
@@ -46,6 +51,8 @@ struct Options {
   bool DumpEffects = false;
   bool DumpIR = false;
   bool DumpPlan = false;
+  bool DumpSubunit = false;
+  bool Inference = false; ///< lint the compileForward() program
   std::string Corrupt; ///< fixture name, empty = none
   std::string Expect;  ///< diagnostic code required under --corrupt
 };
@@ -219,6 +226,64 @@ void corruptRecomputeAfterUse(compiler::Program &Prog) {
               Prog.BackwardTasks[RI.ConsumerUnit]);
 }
 
+/// Forges an ItemPrivate claim: appends a rotation-ledger entry for a
+/// whole-batch Value buffer the pass never rotated. Its leading dimension
+/// still equals the batch (not the claimed 2-slice pool) and its unit
+/// carries no SliceModulus — the plan.subunit.* cross-checks must reject
+/// the ledger instead of trusting it.
+void corruptForgedItemPrivate(compiler::Program &Prog) {
+  for (const compiler::BufferInfo &B : Prog.Buffers) {
+    if (B.Role != compiler::BufferRole::Value || B.Dims.rank() < 1 ||
+        B.Dims[0] != Prog.BatchSize || !B.AliasOf.empty())
+      continue;
+    compiler::RotationInfo RI;
+    RI.Buffer = B.Name;
+    RI.Unit = 0;
+    RI.Slices = 2;
+    RI.SliceElems = B.Dims.numElements() / 2;
+    Prog.Rotations.push_back(std::move(RI));
+    return;
+  }
+  std::fprintf(stderr,
+               "latte-lint: no whole-batch Value buffer to forge a rotation "
+               "claim for\n");
+  std::exit(2);
+}
+
+/// Shrinks a real rotation's pool below the depth the rewritten accesses
+/// actually reach: ledger, buffer shape, and loop annotation are all made
+/// consistently one slice smaller, but the IR still indexes `n % D` — the
+/// recomputed footprints escape the pool (plan.subunit.footprint), exactly
+/// the corruption an unsound dependence-depth bound would produce.
+void corruptUndersizedRotation(compiler::Program &Prog) {
+  if (Prog.Rotations.empty()) {
+    std::fprintf(stderr,
+                 "latte-lint: no rotated buffer to corrupt (compile a fused "
+                 "model with the slice-rotation bit set, e.g. --model vgg3 "
+                 "--batch 4 --mask 0x1ff)\n");
+    std::exit(2);
+  }
+  compiler::RotationInfo &RI = Prog.Rotations.front();
+  const int64_t NewD = RI.Slices - 1; // >= 1: plausible but too shallow
+  for (compiler::BufferInfo &B : Prog.Buffers) {
+    const compiler::BufferInfo *Root = Prog.resolveAlias(B.Name);
+    if (!Root || Root->Name != RI.Buffer)
+      continue;
+    std::vector<int64_t> NewDims = B.Dims.dims();
+    NewDims[0] = NewD;
+    B.Dims = Shape(std::move(NewDims));
+  }
+  std::vector<ir::Stmt *> Units;
+  for (ir::StmtPtr *Root : {&Prog.Forward, &Prog.Backward})
+    if (auto *Block = dyn_cast_if_present<ir::BlockStmt>(Root->get()))
+      for (ir::StmtPtr &S : Block->stmts())
+        Units.push_back(S.get());
+  if (RI.Unit >= 0 && RI.Unit < static_cast<int>(Units.size()))
+    if (auto *F = dyn_cast<ir::ForStmt>(Units[RI.Unit]))
+      F->annotations().SliceModulus = NewD;
+  RI.Slices = NewD;
+}
+
 void applyCorruption(compiler::Program &Prog, const std::string &Kind) {
   if (Kind == "shape-mismatch")
     return corruptShapeMismatch(Prog);
@@ -234,10 +299,15 @@ void applyCorruption(compiler::Program &Prog, const std::string &Kind) {
     return corruptPlanOutOfBounds(Prog);
   if (Kind == "recompute-after-use")
     return corruptRecomputeAfterUse(Prog);
+  if (Kind == "forged-item-private")
+    return corruptForgedItemPrivate(Prog);
+  if (Kind == "undersized-rotation")
+    return corruptUndersizedRotation(Prog);
   std::fprintf(stderr,
                "latte-lint: unknown corruption '%s' (shape-mismatch, "
                "use-before-def, dropped-barrier, cross-iteration-write, "
-               "plan-overlap, plan-oob, recompute-after-use)\n",
+               "plan-overlap, plan-oob, recompute-after-use, "
+               "forged-item-private, undersized-rotation)\n",
                Kind.c_str());
   std::exit(2);
 }
@@ -269,18 +339,49 @@ void dumpUnitEffects(const compiler::Program &Prog) {
   DumpProgram(Prog.Backward.get(), Prog.BackwardTasks, "backward");
 }
 
+/// Prints the sub-unit slice classification (analyze::classifySubUnit) of
+/// every batch-loop unit: which chain-internal buffers are provably
+/// per-item private (rotation candidates), which are shared across items,
+/// and which the analysis cannot pin down.
+void dumpSubUnitClasses(const compiler::Program &Prog) {
+  analyze::BufferTable Bufs(Prog);
+  auto DumpProgram = [&](const ir::Stmt *Root,
+                         const std::vector<compiler::TaskLabel> &Labels,
+                         const char *Which) {
+    const auto *Block = dyn_cast_if_present<const ir::BlockStmt>(Root);
+    if (!Block)
+      return;
+    std::printf("%s sub-unit slice classes:\n", Which);
+    for (size_t I = 0; I < Block->stmts().size(); ++I) {
+      std::map<std::string, analyze::SliceInfo> Classes =
+          analyze::classifySubUnit(Block->stmts()[I].get(), Bufs);
+      if (Classes.empty())
+        continue;
+      std::string Label =
+          I < Labels.size() ? Labels[I].Name : "task#" + std::to_string(I);
+      std::printf(" unit %zu '%s'\n", I, Label.c_str());
+      std::fputs(analyze::dumpSubUnit(Classes).c_str(), stdout);
+    }
+  };
+  DumpProgram(Prog.Forward.get(), Prog.ForwardTasks, "forward");
+  DumpProgram(Prog.Backward.get(), Prog.BackwardTasks, "backward");
+}
+
 /// Lints one (model, mask) point. Returns the number of Error diagnostics.
 int lintPoint(const core::Net &Net, unsigned Mask, const Options &Opt,
               bool &ExpectMet) {
   verify::LatticeOptions LO;
   compiler::CompileOptions Copts = verify::optionsForMask(Mask, LO);
   Copts.VerifyEach = false; // we verify explicitly to collect the report
-  compiler::Program Prog = compiler::compile(Net, Copts);
+  compiler::Program Prog = Opt.Inference
+                               ? compiler::compileForward(Net, Copts)
+                               : compiler::compile(Net, Copts);
   if (!Opt.Corrupt.empty())
     applyCorruption(Prog, Opt.Corrupt);
 
   analyze::DiagnosticReport R = analyze::verifyProgram(Prog);
-  std::printf("== %s mask=0x%02x [%s] ==\n", Opt.Model.c_str(), Mask,
+  std::printf("== %s%s mask=0x%02x [%s] ==\n", Opt.Model.c_str(),
+              Opt.Inference ? " (inference)" : "", Mask,
               verify::flagString(Copts).c_str());
   if (R.empty())
     std::printf("clean\n");
@@ -293,6 +394,8 @@ int lintPoint(const core::Net &Net, unsigned Mask, const Options &Opt,
   }
   if (Opt.DumpEffects)
     dumpUnitEffects(Prog);
+  if (Opt.DumpSubunit)
+    dumpSubUnitClasses(Prog);
   if (Opt.DumpPlan)
     std::fputs(Prog.Plan.str().c_str(), stdout);
   if (!Opt.Expect.empty() && R.hasErrors() && R.hasCode(Opt.Expect))
@@ -304,9 +407,9 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: latte-lint [--model NAME|all] [--mask N|--all-masks]\n"
-      "                  [--batch N] [--scale F] [--dump-effects] "
-      "[--dump-ir]\n"
-      "                  [--dump-plan] [--corrupt KIND --expect CODE]\n"
+      "                  [--batch N] [--scale F] [--inference]\n"
+      "                  [--dump-effects] [--dump-ir] [--dump-plan]\n"
+      "                  [--dump-subunit] [--corrupt KIND --expect CODE]\n"
       "models: ");
   for (const char *M : kModels)
     std::fprintf(stderr, "%s ", M);
@@ -344,6 +447,10 @@ int main(int Argc, char **Argv) {
       Opt.DumpIR = true;
     else if (A == "--dump-plan")
       Opt.DumpPlan = true;
+    else if (A == "--dump-subunit")
+      Opt.DumpSubunit = true;
+    else if (A == "--inference")
+      Opt.Inference = true;
     else if (A == "--corrupt")
       Opt.Corrupt = Next();
     else if (A == "--expect")
