@@ -32,12 +32,22 @@ double trainAndEvaluate(bool Lossy, int Workers, const data::Dataset &Ds) {
     Spec.Name = "MnistNet";
     Spec.InputDims = Ds.itemDims();
     Spec.NumClasses = 10;
+    auto Layer = [](models::LayerSpec::Kind K, const char *Name,
+                    int64_t Filters, int64_t Kernel, int64_t Stride) {
+      models::LayerSpec L;
+      L.K = K;
+      L.Name = Name;
+      L.Filters = Filters;
+      L.Kernel = Kernel;
+      L.Stride = Stride;
+      return L;
+    };
     Spec.Layers = {
-        {models::LayerSpec::Kind::Conv, "conv1", 8, 5, 1, 0, 0.5},
-        {models::LayerSpec::Kind::Relu, "relu1", 0, 0, 1, 0, 0.5},
-        {models::LayerSpec::Kind::MaxPool, "pool1", 0, 2, 2, 0, 0.5},
-        {models::LayerSpec::Kind::Fc, "fc1", 64, 0, 1, 0, 0.5},
-        {models::LayerSpec::Kind::Relu, "relu2", 0, 0, 1, 0, 0.5},
+        Layer(models::LayerSpec::Kind::Conv, "conv1", 8, 5, 1),
+        Layer(models::LayerSpec::Kind::Relu, "relu1", 0, 0, 1),
+        Layer(models::LayerSpec::Kind::MaxPool, "pool1", 0, 2, 2),
+        Layer(models::LayerSpec::Kind::Fc, "fc1", 64, 0, 1),
+        Layer(models::LayerSpec::Kind::Relu, "relu2", 0, 0, 1),
     };
     models::buildLatte(Net, Spec, /*WithLoss=*/true);
   };

@@ -202,6 +202,13 @@ public:
     Doc.find("rows")->push(std::move(Row));
   }
 
+  /// Attaches an arbitrary top-level section (e.g. per-model compile
+  /// reports: GEMM-match / fusion / interpreter counters). compare treats
+  /// unknown sections as informational.
+  void setExtra(const std::string &Key, json::Value V) {
+    Doc.set(Key, std::move(V));
+  }
+
   /// Per-pass compile times from compiler::compileStaged.
   void addCompileStages(const std::vector<compiler::PassStage> &Stages) {
     json::Value Arr = json::Value::array();

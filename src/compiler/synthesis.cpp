@@ -62,6 +62,7 @@ private:
   void handleNeuronEnsemble(Ensemble *E);
 
   bool tryWeightedFc(Ensemble *E, const ConnectionInfo &Info);
+  bool tryWeightedTimeFc(Ensemble *E, const ConnectionInfo &Info);
   bool tryWeightedConv(Ensemble *E, const ConnectionInfo &Info);
   bool tryPool(Ensemble *E, const ConnectionInfo &Info);
   bool tryActivation(Ensemble *E, const ConnectionInfo &Info);
@@ -235,17 +236,25 @@ void Synthesizer::handleNorm(Ensemble *E) {
 
   switch (E->normOp()) {
   case NormOpKind::Softmax: {
+    // Normalize over the LAST axis. Rank-1 ensembles are one row per batch
+    // item (the classifier softmax); higher-rank ensembles normalize each
+    // trailing-axis row independently — e.g. attention's (T, T) score
+    // ensemble softmaxes over keys. Both flatten to the same row-major
+    // {Rows, Classes} kernel geometry, so rank-1 nets are bitwise
+    // unchanged.
+    int64_t Last = E->dims().rank() ? E->dims()[E->dims().rank() - 1] : 1;
+    int64_t Rows = Batch * (Elems / Last);
     FwdTask.Pre.push_back(kernelCall(
         KernelKind::SoftmaxFwd,
         bufArgs(KernelBufArg(E->valueBuffer()),
                 KernelBufArg(Src->valueBuffer())),
-        {Batch, Elems}));
+        {Rows, Last}));
     BwdTask.Pre.push_back(kernelCall(
         KernelKind::SoftmaxBwd,
         bufArgs(KernelBufArg(Src->gradBuffer()),
                 KernelBufArg(E->gradBuffer()),
                 KernelBufArg(E->valueBuffer())),
-        {Batch, Elems}));
+        {Rows, Last}));
     if (Prog.ProbBuffer.empty())
       Prog.ProbBuffer = E->valueBuffer();
     break;
@@ -277,6 +286,21 @@ void Synthesizer::handleNorm(Ensemble *E) {
   }
   case NormOpKind::Dropout: {
     double Keep = E->normParams().empty() ? 0.5 : E->normParams()[0];
+    // Expectation-scaled eval mode (inference opt-in): out = KeepProb * in
+    // with no mask RNG and no mask buffer. The default keeps the sampled
+    // mask so compileForward stays bitwise identical to the training-mode
+    // forward pass; backward never runs under Inference.
+    if (Opts.Inference && Opts.EvalDropout) {
+      FwdTask.Pre.push_back(kernelCall(
+          KernelKind::Copy,
+          bufArgs(KernelBufArg(E->valueBuffer()),
+                  KernelBufArg(Src->valueBuffer())),
+          {Count}));
+      FwdTask.Pre.push_back(kernelCall(KernelKind::Scale,
+                                       bufArgs(KernelBufArg(E->valueBuffer())),
+                                       {Count}, {Keep}));
+      break;
+    }
     std::string MaskBuf = E->name() + "_mask";
     declareBuffer(MaskBuf, E->dims().withPrefix(Batch), BufferRole::Scratch);
     FwdTask.Pre.push_back(kernelCall(KernelKind::DropoutMask,
@@ -440,6 +464,8 @@ void Synthesizer::handleNeuronEnsemble(Ensemble *E) {
     const ConnectionInfo &I0 = Infos[0];
     if (Opts.PatternMatchGemm && tryWeightedFc(E, I0))
       return;
+    if (Opts.PatternMatchGemm && tryWeightedTimeFc(E, I0))
+      return;
     if (Opts.PatternMatchGemm && tryWeightedConv(E, I0))
       return;
     if (Opts.PatternMatchKernels && tryPool(E, I0))
@@ -570,6 +596,114 @@ bool Synthesizer::tryWeightedFc(Ensemble *E, const ConnectionInfo &Info) {
     };
     BwdTask.PerItem.push_back(std::move(Scatter));
   }
+  appendGradHooks(E, BwdTask);
+
+  Prog.Report.MatchedGemmEnsembles.push_back(E->name());
+  Fwd.push_back(std::move(FwdTask));
+  Bwd.push_back(std::move(BwdTask));
+  return true;
+}
+
+bool Synthesizer::tryWeightedTimeFc(Ensemble *E, const ConnectionInfo &Info) {
+  // Time-distributed FC: a (T, D) sink over a (T, F) source whose mapping
+  // reads exactly source row t, with weights shared along time (storage
+  // {D} x elem {F} projecting the output dim — the same per-channel
+  // sharing mechanism as convolution filters, projecting out time instead
+  // of space). The stacked windows are the source value buffer itself in
+  // row-major order, so one sgemm over M = Batch*T rows lowers every
+  // timestep at once, and the tied grad_weights accumulate all timesteps'
+  // contributions inside the single backward GEMM.
+  if (E->dims().rank() != 2 || !Info.Linear || Info.FullyShared)
+    return false;
+  if (Info.SharedDims[0] || !Info.SharedDims[1])
+    return false;
+  Ensemble *Src = E->inputs()[0].Source;
+  const Shape &SrcDims = Src->dims();
+  const int64_t T = E->dims()[0];
+  const int64_t D = E->dims()[1];
+  if (SrcDims.rank() != 2 || SrcDims[0] != T)
+    return false;
+  const int64_t F = SrcDims[1];
+  // The window at sink (t, *) must be exactly row t of the source.
+  if (Info.WindowSizes.size() != 2 || Info.WindowSizes[0] != 1 ||
+      Info.WindowSizes[1] != F || Info.WindowVolume != F)
+    return false;
+  if (Info.Strides[0][0] != 1 || Info.Strides[0][1] != 0)
+    return false;
+  if (Info.BaseBox[0].Begin != 0 || Info.BaseBox[0].End != 1 ||
+      Info.BaseBox[1].Begin != 0 || Info.BaseBox[1].End != F)
+    return false;
+  NeuronContext Ctx = contextFor({Info});
+  if (!matchesCanonical(E->type(), CanonWeighted, Ctx))
+    return false;
+
+  const FieldSpec *WF = E->type()->findField("weights");
+  const FieldSpec *BF = E->type()->findField("bias");
+  assert(WF && BF && "weighted neuron must declare weights and bias");
+  FieldStorage WS = resolvedStorage(E, *WF, Shape{F});
+  FieldMapInfo WMap = analyzeFieldMap(WS, E->dims());
+  // A singleton output dimension cannot be probed (selector -1) but is
+  // trivially compatible, as in the convolution matcher.
+  bool SelectsOut = WMap.DimSelectors.size() == 1 &&
+                    (WMap.DimSelectors[0] == 1 ||
+                     (D == 1 && WMap.DimSelectors[0] == -1));
+  if (!WMap.IsProjection || WS.StorageDims.rank() != 1 ||
+      WS.StorageDims[0] != D || !SelectsOut || WS.ElemDims.numElements() != F)
+    return false;
+  FieldStorage BS = resolvedStorage(E, *BF, Shape{1});
+  FieldMapInfo BMap = analyzeFieldMap(BS, E->dims());
+  bool BiasSelectsOut = BMap.DimSelectors.size() == 1 &&
+                        (BMap.DimSelectors[0] == 1 ||
+                         (D == 1 && BMap.DimSelectors[0] == -1));
+  if (!BMap.IsProjection || BS.StorageDims.numElements() != D ||
+      BS.ElemDims.numElements() != 1 || !BiasSelectsOut)
+    return false;
+
+  declareFields(E, Shape{F});
+
+  // (Batch, T, F) row-major viewed as an (M x F) matrix is exactly the
+  // per-sink window stack — alias instead of gathering (Figure 8's
+  // shared-variable optimization extended over the time axis).
+  const int64_t M = Batch * T;
+  std::string InBuf = E->inputBuffer(0);
+  std::string GinBuf = E->gradInputBuffer(0);
+  declareBuffer(InBuf, Shape{Batch, T, F}, BufferRole::Input,
+                Src->valueBuffer());
+  declareBuffer(GinBuf, Shape{Batch, T, F}, BufferRole::GradInput,
+                Src->gradBuffer());
+
+  EnsembleTask FwdTask, BwdTask;
+  FwdTask.EnsembleName = BwdTask.EnsembleName = E->name();
+
+  // Forward: value = inputs * W^T + b over all Batch*T rows.
+  FwdTask.Pre.push_back(kernelCall(
+      KernelKind::Sgemm,
+      bufArgs(KernelBufArg(InBuf), KernelBufArg(E->fieldBuffer("weights")),
+              KernelBufArg(E->valueBuffer())),
+      {M, D, F, F, F, D, 0, 1, 0}));
+  FwdTask.Pre.push_back(kernelCall(
+      KernelKind::BiasAddPerRow,
+      bufArgs(KernelBufArg(E->valueBuffer()),
+              KernelBufArg(E->fieldBuffer("bias"))),
+      {M, D}));
+
+  // Backward: grad wrt inputs (accumulated straight into the aliased
+  // source gradient), the time-tied weights, and the bias.
+  BwdTask.Pre.push_back(kernelCall(
+      KernelKind::Sgemm,
+      bufArgs(KernelBufArg(E->gradBuffer()),
+              KernelBufArg(E->fieldBuffer("weights")), KernelBufArg(GinBuf)),
+      {M, F, D, D, F, F, 0, 0, 1}));
+  BwdTask.Pre.push_back(kernelCall(
+      KernelKind::Sgemm,
+      bufArgs(KernelBufArg(E->gradBuffer()), KernelBufArg(InBuf),
+              KernelBufArg(E->fieldBuffer("grad_weights"))),
+      {D, F, M, D, F, F, 1, 0, 1}));
+  BwdTask.Pre.push_back(kernelCall(
+      KernelKind::ColSumAdd,
+      bufArgs(KernelBufArg(E->fieldBuffer("grad_bias")),
+              KernelBufArg(E->gradBuffer())),
+      {M, D}));
   appendGradHooks(E, BwdTask);
 
   Prog.Report.MatchedGemmEnsembles.push_back(E->name());

@@ -1,0 +1,161 @@
+//===- core/layers/attention.cpp ------------------------------*- C++ -*-===//
+
+#include "core/layers/attention.h"
+
+#include "support/error.h"
+
+#include <cmath>
+
+using namespace latte;
+using namespace latte::core;
+using namespace latte::layers;
+
+namespace {
+
+/// Finds or registers the DotNeuron instance for \p Scale (the type name
+/// encodes the scale, so distinct scales coexist in one registry).
+const NeuronType *dotType(Net &Net, double Scale) {
+  NeuronType T = makeDotNeuronType(Scale);
+  if (const NeuronType *Found = Net.findType(T.name()))
+    return Found;
+  return Net.registerType(std::move(T));
+}
+
+} // namespace
+
+Ensemble *layers::SliceLayer(Net &Net, const std::string &Name,
+                             Ensemble *Input, int64_t T) {
+  assert(Input && "slice needs an input ensemble");
+  const Shape &In = Input->dims();
+  if (In.rank() != 2)
+    reportFatalError("slice input '" + Input->name() +
+                     "' must be (timesteps, features)");
+  if (T < 0 || T >= In[0])
+    reportFatalError("slice '" + Name + "' timestep out of range");
+  int64_t F = In[1];
+
+  const NeuronType *Ty = standardType(Net, "SumNeuron");
+  Ensemble *Slice = Net.addEnsemble(Name, Shape{F}, Ty);
+  // Each output d reads the single element (T, d) of the sequence.
+  Net.addConnections(Input, Slice,
+                     [T](const std::vector<int64_t> &Sink) {
+                       return std::vector<Range>{{T, T + 1},
+                                                 {Sink[0], Sink[0] + 1}};
+                     });
+  return Slice;
+}
+
+Ensemble *layers::StackLayer(Net &Net, const std::string &Name,
+                             Ensemble *Input, int64_t T) {
+  assert(Input && T > 0 && "stack needs an input and a positive length");
+  const Shape &In = Input->dims();
+  if (In.rank() != 1)
+    reportFatalError("stack input '" + Input->name() + "' must be rank 1");
+  int64_t F = In[0];
+
+  const NeuronType *Ty = standardType(Net, "SumNeuron");
+  Ensemble *Stack = Net.addEnsemble(Name, Shape{T, F}, Ty);
+  // Every timestep row reads the same source element; the backward pass
+  // scatter-adds the T row gradients back into it.
+  Net.addConnections(Input, Stack,
+                     [](const std::vector<int64_t> &Sink) {
+                       return std::vector<Range>{{Sink[1], Sink[1] + 1}};
+                     });
+  return Stack;
+}
+
+Ensemble *layers::TimeDistributedFcLayer(Net &Net, const std::string &Name,
+                                         Ensemble *Input,
+                                         int64_t NumOutputs) {
+  assert(Input && NumOutputs > 0 && "invalid time-distributed FC");
+  const Shape &In = Input->dims();
+  if (In.rank() != 2)
+    reportFatalError("time-distributed FC input '" + Input->name() +
+                     "' must be (timesteps, features)");
+  int64_t F = In[1];
+
+  const NeuronType *Ty = standardType(Net, "WeightedNeuron");
+  Ensemble *Fc = Net.addEnsemble(Name, Shape{In[0], NumOutputs}, Ty);
+
+  // One {NumOutputs x F} weight matrix shared across time: storage is
+  // indexed by the output dimension only, exactly like a convolution
+  // filter bank shared over its spatial dims.
+  FieldStorage Weights;
+  Weights.StorageDims = Shape{NumOutputs};
+  Weights.ElemDims = Shape{F};
+  Weights.Map = [](const std::vector<int64_t> &Sink) {
+    return std::vector<int64_t>{Sink[1]};
+  };
+  Weights.Init = FieldInitKind::Xavier;
+  Weights.FanIn = F;
+  Fc->setFieldStorage("weights", std::move(Weights));
+
+  FieldStorage Bias;
+  Bias.StorageDims = Shape{NumOutputs};
+  Bias.ElemDims = Shape{1};
+  Bias.Map = [](const std::vector<int64_t> &Sink) {
+    return std::vector<int64_t>{Sink[1]};
+  };
+  Bias.Init = FieldInitKind::Zero;
+  Fc->setFieldStorage("bias", std::move(Bias));
+
+  // Output (t, d) reads the full feature row of timestep t.
+  Net.addConnections(Input, Fc,
+                     [F](const std::vector<int64_t> &Sink) {
+                       return std::vector<Range>{{Sink[0], Sink[0] + 1},
+                                                 {0, F}};
+                     });
+  return Fc;
+}
+
+Ensemble *layers::AttentionLayer(Net &Net, const std::string &Name,
+                                 Ensemble *Input, int64_t D) {
+  assert(Input && D > 0 && "invalid attention configuration");
+  const Shape &In = Input->dims();
+  if (In.rank() != 2)
+    reportFatalError("attention input '" + Input->name() +
+                     "' must be (timesteps, features)");
+  int64_t T = In[0];
+
+  Ensemble *Q = TimeDistributedFcLayer(Net, Name + "_q", Input, D);
+  Ensemble *K = TimeDistributedFcLayer(Net, Name + "_k", Input, D);
+  Ensemble *V = TimeDistributedFcLayer(Net, Name + "_v", Input, D);
+
+  // scores[i, j] = <Q_i, K_j> / sqrt(D): each score neuron dots one query
+  // row against one key row — a non-affine (pairwise) connection pattern,
+  // so synthesis lowers it through the interpreted SoA path.
+  const NeuronType *ScaledDot =
+      dotType(Net, 1.0 / std::sqrt(static_cast<double>(D)));
+  Ensemble *Scores = Net.addEnsemble(Name + "_scores", Shape{T, T},
+                                     ScaledDot);
+  Net.addConnections(Q, Scores,
+                     [D](const std::vector<int64_t> &Sink) {
+                       return std::vector<Range>{{Sink[0], Sink[0] + 1},
+                                                 {0, D}};
+                     });
+  Net.addConnections(K, Scores,
+                     [D](const std::vector<int64_t> &Sink) {
+                       return std::vector<Range>{{Sink[1], Sink[1] + 1},
+                                                 {0, D}};
+                     });
+
+  // Softmax over keys: normalization runs over the last axis of (T, T).
+  Ensemble *Probs = SoftmaxLayer(Net, Name + "_probs", Scores);
+
+  // out[i, d] = sum_j probs[i, j] * V[j, d]. The probability window is row
+  // i; the value window is column d — both flatten to length-T vectors in
+  // matching j order.
+  const NeuronType *Dot = dotType(Net, 1.0);
+  Ensemble *Out = Net.addEnsemble(Name + "_out", Shape{T, D}, Dot);
+  Net.addConnections(Probs, Out,
+                     [T](const std::vector<int64_t> &Sink) {
+                       return std::vector<Range>{{Sink[0], Sink[0] + 1},
+                                                 {0, T}};
+                     });
+  Net.addConnections(V, Out,
+                     [T](const std::vector<int64_t> &Sink) {
+                       return std::vector<Range>{{0, T},
+                                                 {Sink[1], Sink[1] + 1}};
+                     });
+  return Out;
+}

@@ -1,0 +1,66 @@
+//===- core/layers/attention.h - Sequence and attention blocks -*- C++ -*-===//
+///
+/// \file
+/// Sequence-structure layers and a single-head scaled dot-product
+/// attention block, composed from the same primitives as the rest of the
+/// standard library (§3-§4): mapping functions over ensembles, per-neuron
+/// field storage with explicit sharing, and neuron-function generators.
+///
+/// Sequence inputs live in one rank-2 (T, F) data ensemble — timesteps by
+/// features — so the verification harness and the serving runtime feed
+/// them through the ordinary single data buffer. SliceLayer carves out one
+/// timestep for an unrolled recurrent block; StackLayer broadcasts a flat
+/// ensemble into a (T, F) sequence.
+///
+/// TimeDistributedFcLayer applies ONE weight matrix to every timestep row
+/// (the Q/K/V projections of attention): a (T, D) ensemble of
+/// WeightedNeurons whose weight/bias storage is shared along the time
+/// dimension via the field Map — the same per-channel-sharing mechanism
+/// convolution filters use, here projecting out time instead of space. The
+/// compiler's GEMM pattern matcher recognizes the shape and lowers it to a
+/// single (Batch*T) x F x D sgemm.
+///
+/// AttentionLayer wires the whole block: Q/K/V projections, a (T, T)
+/// score ensemble of DotNeurons at 1/sqrt(D) (the first non-affine
+/// connection pattern in the tree — each score reads one row of Q and one
+/// row of K), softmax over keys (the last axis), and a (T, D) weighted-sum
+/// readout of V under the attention probabilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_CORE_LAYERS_ATTENTION_H
+#define LATTE_CORE_LAYERS_ATTENTION_H
+
+#include "core/layers/layers.h"
+
+namespace latte {
+namespace layers {
+
+/// Timestep \p T of a rank-2 (Time, F) sequence ensemble: a rank-1 {F}
+/// ensemble reading row T of \p Input.
+core::Ensemble *SliceLayer(core::Net &Net, const std::string &Name,
+                           core::Ensemble *Input, int64_t T);
+
+/// Broadcasts a rank-1 {F} ensemble into a (T, F) sequence whose rows all
+/// read the source (backward sums the T row gradients into it).
+core::Ensemble *StackLayer(core::Net &Net, const std::string &Name,
+                           core::Ensemble *Input, int64_t T);
+
+/// One weight matrix applied to every timestep: (T, F) -> (T, D) with
+/// weights {D x F} and bias {D} shared along time via the field Map.
+core::Ensemble *TimeDistributedFcLayer(core::Net &Net,
+                                       const std::string &Name,
+                                       core::Ensemble *Input,
+                                       int64_t NumOutputs);
+
+/// Single-head scaled dot-product attention over a (T, F) sequence with
+/// model dimension \p D: out = softmax(Q K^T / sqrt(D)) V, where
+/// Q/K/V = TimeDistributedFc(Input, D). Returns the (T, D) readout.
+/// Ensembles are named <Name>_{q,k,v,scores,probs,out}.
+core::Ensemble *AttentionLayer(core::Net &Net, const std::string &Name,
+                               core::Ensemble *Input, int64_t D);
+
+} // namespace layers
+} // namespace latte
+
+#endif // LATTE_CORE_LAYERS_ATTENTION_H

@@ -243,6 +243,42 @@ NeuronType core::makeSubNeuronType() {
   return NeuronType("SubNeuron", {}, std::move(Fwd), std::move(Bwd));
 }
 
+NeuronType core::makeDotNeuronType(double Scale) {
+  using namespace dsl;
+  // Scale is folded into every accumulated term (rather than applied once
+  // at the end) so the body stays a single accumulation loop the SoA
+  // rewrite handles like any other reduction.
+  auto Scaled = [Scale](ExprPtr E) -> ExprPtr {
+    if (Scale == 1.0)
+      return E;
+    return mul(std::move(E), floatConst(Scale));
+  };
+  NeuronBodyFn Fwd = [Scaled](const NeuronContext &Ctx) {
+    assert(Ctx.numInputs() == 2 &&
+           Ctx.inputLength(0) == Ctx.inputLength(1) &&
+           "DotNeuron needs two equal-length input windows");
+    return forLoop("i", Ctx.inputLength(0),
+                   accumValue(Scaled(
+                       mul(input(0, var("i")), input(1, var("i"))))));
+  };
+  NeuronBodyFn Bwd = [Scaled](const NeuronContext &Ctx) {
+    std::vector<StmtPtr> Stmts;
+    Stmts.push_back(forLoop(
+        "i", Ctx.inputLength(0),
+        accumGradInput(0, var("i"),
+                       Scaled(mul(grad(), input(1, var("i")))))));
+    Stmts.push_back(forLoop(
+        "i", Ctx.inputLength(1),
+        accumGradInput(1, var("i"),
+                       Scaled(mul(grad(), input(0, var("i")))))));
+    return block(std::move(Stmts));
+  };
+  std::string Name = "DotNeuron";
+  if (Scale != 1.0)
+    Name += "@" + std::to_string(Scale);
+  return NeuronType(std::move(Name), {}, std::move(Fwd), std::move(Bwd));
+}
+
 NeuronType core::makePReluNeuronType() {
   using namespace dsl;
   std::vector<FieldSpec> Fields = {

@@ -177,6 +177,14 @@ NeuronType makeMulNeuronType();
 /// Difference neuron: value = input0 - input1 (exactly two one-to-one
 /// connections; used by the GRU interpolation step).
 NeuronType makeSubNeuronType();
+/// Dot-product neuron: value = Scale * sum_i input0[i] * input1[i] over two
+/// equal-length input windows — the pairwise interaction of attention
+/// score and readout ensembles (scaled dot-product attention). No pattern
+/// matcher recognizes it, so it always lowers through the interpreted SoA
+/// path: the first non-affine connection pattern in the tree. The type
+/// name encodes the scale ("DotNeuron" at 1.0, "DotNeuron@<scale>"
+/// otherwise) so differently-scaled instances coexist in one Net registry.
+NeuronType makeDotNeuronType(double Scale = 1.0);
 /// PReLU neuron with a learnable slope parameter (He et al.), provided as
 /// the paper's example of a researcher-defined novel layer.
 NeuronType makePReluNeuronType();

@@ -3,10 +3,13 @@
 #include "models/models.h"
 
 #include "baselines/mocha/mocha.h"
+#include "core/layers/attention.h"
 #include "core/layers/layers.h"
+#include "core/layers/recurrent.h"
 #include "support/error.h"
 
 #include <cmath>
+#include <unordered_map>
 
 using namespace latte;
 using namespace latte::models;
@@ -71,11 +74,47 @@ int64_t scaled(int64_t Extent, double Scale) {
   return S < 1 ? 1 : S;
 }
 
+LayerSpec slice(std::string Name, std::string Input, int64_t T) {
+  LayerSpec L;
+  L.K = LayerSpec::Kind::Slice;
+  L.Name = std::move(Name);
+  L.Inputs = {std::move(Input)};
+  L.TimeIndex = T;
+  return L;
+}
+
+/// True for nodes only the Latte builder can lower: explicit graph edges,
+/// weight-sharing groups, and the sequence kinds.
+bool isGraphOnly(const LayerSpec &L) {
+  if (!L.Inputs.empty() || !L.ShareWith.empty())
+    return true;
+  switch (L.K) {
+  case LayerSpec::Kind::Conv:
+  case LayerSpec::Kind::MaxPool:
+  case LayerSpec::Kind::AvgPool:
+  case LayerSpec::Kind::Relu:
+  case LayerSpec::Kind::Tanh:
+  case LayerSpec::Kind::Fc:
+  case LayerSpec::Kind::Dropout:
+    return false;
+  case LayerSpec::Kind::Sigmoid:
+  case LayerSpec::Kind::Add:
+  case LayerSpec::Kind::Mul:
+  case LayerSpec::Kind::Sub:
+  case LayerSpec::Kind::Slice:
+  case LayerSpec::Kind::Stack:
+  case LayerSpec::Kind::Lstm:
+  case LayerSpec::Kind::Gru:
+  case LayerSpec::Kind::Attention:
+    return true;
+  }
+  latteUnreachable("unknown layer kind");
+}
+
 } // namespace
 
 std::vector<LayerAudit> models::auditSpec(const ModelSpec &Spec) {
   std::vector<LayerAudit> Audit;
-  Shape Cur = Spec.InputDims;
   auto OutSpatial = [](int64_t In, int64_t K, int64_t S, int64_t P) {
     int64_t Out = (In + 2 * P - K) / S + 1;
     if (Out <= 0)
@@ -83,41 +122,113 @@ std::vector<LayerAudit> models::auditSpec(const ModelSpec &Spec) {
                        "is too small for this architecture");
     return Out;
   };
+
+  // Graph walk: shapes by node name; a node with no explicit Inputs
+  // consumes the previous node's output ("data" before any node exists).
+  std::unordered_map<std::string, Shape> Shapes;
+  Shapes["data"] = Spec.InputDims;
+  std::string Prev = "data";
+  auto ShapeOf = [&](const std::string &Name) -> const Shape & {
+    auto It = Shapes.find(Name);
+    if (It == Shapes.end())
+      reportFatalError("spec references unknown node '" + Name + "'");
+    return It->second;
+  };
+  auto InputShapes = [&](const LayerSpec &L) {
+    std::vector<Shape> In;
+    if (L.Inputs.empty())
+      In.push_back(ShapeOf(Prev));
+    else
+      for (const std::string &Name : L.Inputs)
+        In.push_back(ShapeOf(Name));
+    return In;
+  };
+
   for (const LayerSpec &L : Spec.Layers) {
     LayerAudit Row;
     Row.Name = L.Name;
+    std::vector<Shape> In = InputShapes(L);
+    const Shape &Cur = In[0];
+    Shape Out = Cur;
     switch (L.K) {
     case LayerSpec::Kind::Conv: {
-      assert(Cur.rank() == 3 && "conv input must be (C, H, W)");
+      if (Cur.rank() != 3)
+        reportFatalError("conv '" + L.Name + "' input must be (C, H, W)");
       int64_t OutH = OutSpatial(Cur[1], L.Kernel, L.Stride, L.Pad);
       int64_t OutW = OutSpatial(Cur[2], L.Kernel, L.Stride, L.Pad);
       Row.Params = L.Filters * (Cur[0] * L.Kernel * L.Kernel + 1);
-      Cur = Shape{L.Filters, OutH, OutW};
+      Out = Shape{L.Filters, OutH, OutW};
       break;
     }
     case LayerSpec::Kind::MaxPool:
     case LayerSpec::Kind::AvgPool: {
       int64_t OutH = OutSpatial(Cur[1], L.Kernel, L.Stride, L.Pad);
       int64_t OutW = OutSpatial(Cur[2], L.Kernel, L.Stride, L.Pad);
-      Cur = Shape{Cur[0], OutH, OutW};
+      Out = Shape{Cur[0], OutH, OutW};
       break;
     }
     case LayerSpec::Kind::Relu:
     case LayerSpec::Kind::Tanh:
+    case LayerSpec::Kind::Sigmoid:
     case LayerSpec::Kind::Dropout:
-      break;
+    case LayerSpec::Kind::Add:
+    case LayerSpec::Kind::Mul:
+    case LayerSpec::Kind::Sub:
+      break; // shape-preserving, no parameters
     case LayerSpec::Kind::Fc:
-      Row.Params = L.Filters * (Cur.numElements() + 1);
-      Cur = Shape{L.Filters};
+      // Tied layers share the owner's storage: no parameters of their own.
+      Row.Params = L.ShareWith.empty() ? L.Filters * (Cur.numElements() + 1)
+                                       : 0;
+      Out = Shape{L.Filters};
+      break;
+    case LayerSpec::Kind::Slice:
+      if (Cur.rank() != 2)
+        reportFatalError("slice '" + L.Name + "' input must be (T, F)");
+      if (L.TimeIndex < 0 || L.TimeIndex >= Cur[0])
+        reportFatalError("slice '" + L.Name + "' timestep out of range");
+      Out = Shape{Cur[1]};
+      break;
+    case LayerSpec::Kind::Stack:
+      if (Cur.rank() != 1)
+        reportFatalError("stack '" + L.Name + "' input must be rank 1");
+      Out = Shape{L.Filters, Cur[0]};
+      break;
+    case LayerSpec::Kind::Lstm: {
+      // 4 gates, each with an input projection {H x F}, a recurrent
+      // projection {H x H}, and biases — tied across all timesteps.
+      int64_t H = L.Filters, F = Cur.numElements();
+      Row.Params = 4 * (H * F + H) + 4 * (H * H + H);
+      Out = Shape{H};
       break;
     }
-    Row.OutDims = Cur;
+    case LayerSpec::Kind::Gru: {
+      int64_t H = L.Filters, F = Cur.numElements();
+      Row.Params = 3 * (H * F + H) + 3 * (H * H + H);
+      Out = Shape{H};
+      break;
+    }
+    case LayerSpec::Kind::Attention: {
+      if (Cur.rank() != 2)
+        reportFatalError("attention '" + L.Name + "' input must be (T, F)");
+      // Q/K/V projections, each {D x F} + bias, shared across timesteps.
+      int64_t D = L.Filters, F = Cur[1];
+      Row.Params = 3 * (D * F + D);
+      Out = Shape{Cur[0], D};
+      break;
+    }
+    }
+    Row.OutDims = Out;
+    Shapes[L.Name] = Out;
+    Prev = L.Name;
     Audit.push_back(std::move(Row));
   }
-  // Final classifier.
+
+  // Final classifier over the last node (zero-layer specs classify the
+  // input directly: the audit is then just this row).
+  const Shape &Last = ShapeOf(Prev);
   LayerAudit Cls;
   Cls.Name = "classifier";
-  Cls.Params = Spec.NumClasses * (Cur.numElements() + 1);
+  Cls.Params = Spec.NumClasses * (Last.numElements() + 1);
   Cls.OutDims = Shape{Spec.NumClasses};
   Audit.push_back(std::move(Cls));
   return Audit;
@@ -276,35 +387,141 @@ ModelSpec models::mlp(int64_t InputSize, std::vector<int64_t> HiddenWidths,
   return Spec;
 }
 
+ModelSpec models::lstmClassifier(int64_t Timesteps, int64_t Features,
+                                 int64_t Hidden, int64_t NumClasses) {
+  assert(Timesteps > 0 && Features > 0 && Hidden > 0 && NumClasses > 1);
+  ModelSpec Spec;
+  Spec.Name = "LSTM-cls";
+  Spec.InputDims = Shape{Timesteps, Features};
+  Spec.NumClasses = NumClasses;
+  LayerSpec Cell;
+  Cell.K = LayerSpec::Kind::Lstm;
+  Cell.Name = "lstm";
+  Cell.Filters = Hidden;
+  for (int64_t T = 0; T < Timesteps; ++T) {
+    std::string SliceName = "x" + std::to_string(T);
+    Spec.Layers.push_back(slice(SliceName, "data", T));
+    Cell.Inputs.push_back(SliceName);
+  }
+  Spec.Layers.push_back(std::move(Cell));
+  return Spec;
+}
+
+ModelSpec models::gruClassifier(int64_t Timesteps, int64_t Features,
+                                int64_t Hidden, int64_t NumClasses) {
+  ModelSpec Spec = lstmClassifier(Timesteps, Features, Hidden, NumClasses);
+  Spec.Name = "GRU-cls";
+  Spec.Layers.back().K = LayerSpec::Kind::Gru;
+  Spec.Layers.back().Name = "gru";
+  return Spec;
+}
+
+ModelSpec models::attentionClassifier(int64_t Timesteps, int64_t Features,
+                                      int64_t ModelDim, int64_t NumClasses) {
+  assert(Timesteps > 0 && Features > 0 && ModelDim > 0 && NumClasses > 1);
+  ModelSpec Spec;
+  Spec.Name = "Attn-cls";
+  Spec.InputDims = Shape{Timesteps, Features};
+  Spec.NumClasses = NumClasses;
+  LayerSpec Attn;
+  Attn.K = LayerSpec::Kind::Attention;
+  Attn.Name = "attn";
+  Attn.Inputs = {"data"};
+  Attn.Filters = ModelDim;
+  Spec.Layers.push_back(std::move(Attn));
+  return Spec;
+}
+
 core::Ensemble *models::buildLatte(core::Net &Net, const ModelSpec &Spec,
                                    bool WithLoss) {
   using namespace latte::layers;
+  // Graph walk mirroring auditSpec: ensembles by node name; empty Inputs
+  // means the previous node's output.
+  std::unordered_map<std::string, core::Ensemble *> Nodes;
   core::Ensemble *Cur = DataLayer(Net, "data", Spec.InputDims);
+  Nodes["data"] = Cur;
+  auto NodeOf = [&](const std::string &Name) -> core::Ensemble * {
+    auto It = Nodes.find(Name);
+    if (It == Nodes.end())
+      reportFatalError("spec references unknown node '" + Name + "'");
+    return It->second;
+  };
+  auto InputsOf = [&](const LayerSpec &L) {
+    std::vector<core::Ensemble *> In;
+    if (L.Inputs.empty())
+      In.push_back(Cur);
+    else
+      for (const std::string &Name : L.Inputs)
+        In.push_back(NodeOf(Name));
+    return In;
+  };
+
   for (const LayerSpec &L : Spec.Layers) {
+    std::vector<core::Ensemble *> In = InputsOf(L);
+    core::Ensemble *Out = nullptr;
     switch (L.K) {
     case LayerSpec::Kind::Conv:
-      Cur = ConvolutionLayer(Net, L.Name, Cur, L.Filters, L.Kernel, L.Stride,
-                             L.Pad);
+      Out = ConvolutionLayer(Net, L.Name, In[0], L.Filters, L.Kernel,
+                             L.Stride, L.Pad);
       break;
     case LayerSpec::Kind::MaxPool:
-      Cur = MaxPoolingLayer(Net, L.Name, Cur, L.Kernel, L.Stride, L.Pad);
+      Out = MaxPoolingLayer(Net, L.Name, In[0], L.Kernel, L.Stride, L.Pad);
       break;
     case LayerSpec::Kind::AvgPool:
-      Cur = AvgPoolingLayer(Net, L.Name, Cur, L.Kernel, L.Stride, L.Pad);
+      Out = AvgPoolingLayer(Net, L.Name, In[0], L.Kernel, L.Stride, L.Pad);
       break;
     case LayerSpec::Kind::Relu:
-      Cur = ReluLayer(Net, L.Name, Cur);
+      Out = ReluLayer(Net, L.Name, In[0]);
       break;
     case LayerSpec::Kind::Tanh:
-      Cur = TanhLayer(Net, L.Name, Cur);
+      Out = TanhLayer(Net, L.Name, In[0]);
+      break;
+    case LayerSpec::Kind::Sigmoid:
+      Out = SigmoidLayer(Net, L.Name, In[0]);
       break;
     case LayerSpec::Kind::Fc:
-      Cur = FullyConnectedLayer(Net, L.Name, Cur, L.Filters);
+      Out = L.ShareWith.empty()
+                ? FullyConnectedLayer(Net, L.Name, In[0], L.Filters)
+                : FullyConnectedLayerShared(Net, L.Name, In[0], L.Filters,
+                                            L.ShareWith);
       break;
     case LayerSpec::Kind::Dropout:
-      Cur = DropoutLayer(Net, L.Name, Cur, L.KeepProb);
+      Out = DropoutLayer(Net, L.Name, In[0], L.KeepProb);
+      break;
+    case LayerSpec::Kind::Add:
+      Out = AddLayer(Net, L.Name, In);
+      break;
+    case LayerSpec::Kind::Mul:
+      if (In.size() != 2)
+        reportFatalError("mul '" + L.Name + "' needs exactly two inputs");
+      Out = MulLayer(Net, L.Name, In[0], In[1]);
+      break;
+    case LayerSpec::Kind::Sub:
+      if (In.size() != 2)
+        reportFatalError("sub '" + L.Name + "' needs exactly two inputs");
+      Out = SubLayer(Net, L.Name, In[0], In[1]);
+      break;
+    case LayerSpec::Kind::Slice:
+      Out = SliceLayer(Net, L.Name, In[0], L.TimeIndex);
+      break;
+    case LayerSpec::Kind::Stack:
+      Out = StackLayer(Net, L.Name, In[0], L.Filters);
+      break;
+    case LayerSpec::Kind::Lstm:
+      Out = LstmLayer(Net, L.Name, In, L.Filters).Hidden.back();
+      break;
+    case LayerSpec::Kind::Gru:
+      Out = GruLayer(Net, L.Name, In, L.Filters).Hidden.back();
+      break;
+    case LayerSpec::Kind::Attention:
+      Out = AttentionLayer(Net, L.Name, In[0], L.Filters);
       break;
     }
+    // Register the block's output under the node name (recurrent and
+    // attention blocks name their internal ensembles "<name>_...", so the
+    // node name itself stays free).
+    Nodes[L.Name] = Out;
+    Cur = Out;
   }
   Cur = FullyConnectedLayer(Net, "classifier", Cur, Spec.NumClasses);
   if (!WithLoss)
@@ -318,6 +535,10 @@ void models::buildCaffe(caffe::CaffeNet &Net, const ModelSpec &Spec,
   using namespace latte::caffe;
   Net.setInputShape(Spec.InputDims);
   for (const LayerSpec &L : Spec.Layers) {
+    if (isGraphOnly(L))
+      reportFatalError("graph-structured node '" + L.Name +
+                       "' unsupported by the Caffe baseline; baselines "
+                       "compare the flat CNN/MLP suite only");
     switch (L.K) {
     case LayerSpec::Kind::Conv:
       Net.addLayer(std::make_unique<ConvolutionLayer>(L.Name, L.Filters,
@@ -337,6 +558,15 @@ void models::buildCaffe(caffe::CaffeNet &Net, const ModelSpec &Spec,
       break;
     case LayerSpec::Kind::Tanh:
     case LayerSpec::Kind::Dropout:
+    case LayerSpec::Kind::Sigmoid:
+    case LayerSpec::Kind::Add:
+    case LayerSpec::Kind::Mul:
+    case LayerSpec::Kind::Sub:
+    case LayerSpec::Kind::Slice:
+    case LayerSpec::Kind::Stack:
+    case LayerSpec::Kind::Lstm:
+    case LayerSpec::Kind::Gru:
+    case LayerSpec::Kind::Attention:
       reportFatalError("layer kind unsupported by the Caffe baseline: " +
                        L.Name);
     case LayerSpec::Kind::Fc:
@@ -357,6 +587,10 @@ void models::buildMocha(caffe::CaffeNet &Net, const ModelSpec &Spec,
   using namespace latte::mocha;
   Net.setInputShape(Spec.InputDims);
   for (const LayerSpec &L : Spec.Layers) {
+    if (isGraphOnly(L))
+      reportFatalError("graph-structured node '" + L.Name +
+                       "' unsupported by the Mocha baseline; baselines "
+                       "compare the flat CNN/MLP suite only");
     switch (L.K) {
     case LayerSpec::Kind::Conv:
       Net.addLayer(std::make_unique<NaiveConvolutionLayer>(
@@ -376,6 +610,15 @@ void models::buildMocha(caffe::CaffeNet &Net, const ModelSpec &Spec,
     case LayerSpec::Kind::AvgPool:
     case LayerSpec::Kind::Tanh:
     case LayerSpec::Kind::Dropout:
+    case LayerSpec::Kind::Sigmoid:
+    case LayerSpec::Kind::Add:
+    case LayerSpec::Kind::Mul:
+    case LayerSpec::Kind::Sub:
+    case LayerSpec::Kind::Slice:
+    case LayerSpec::Kind::Stack:
+    case LayerSpec::Kind::Lstm:
+    case LayerSpec::Kind::Gru:
+    case LayerSpec::Kind::Attention:
       reportFatalError("layer kind unsupported by the Mocha baseline: " +
                        L.Name);
     }

@@ -24,21 +24,56 @@
 namespace latte {
 namespace models {
 
+/// One node of a graph-structured model description. The historical flat
+/// CNN/MLP form is the degenerate graph: every node leaves \p Inputs empty
+/// and implicitly consumes the previous node's output. Graph nodes name
+/// their inputs explicitly ("data" is the network input), which admits
+/// multi-input nodes (elementwise combine, recurrent cells over per-
+/// timestep slices) and weight-sharing groups (\p ShareWith).
 struct LayerSpec {
-  enum class Kind { Conv, MaxPool, AvgPool, Relu, Tanh, Fc, Dropout };
+  enum class Kind {
+    // Flat CNN/MLP kinds (both baselines lower these).
+    Conv,
+    MaxPool,
+    AvgPool,
+    Relu,
+    Tanh,
+    Fc,
+    Dropout,
+    // Graph-structured kinds (Latte only; baselines reject them).
+    Sigmoid,
+    Add,       ///< elementwise sum of all Inputs
+    Mul,       ///< elementwise product of two Inputs
+    Sub,       ///< elementwise difference of two Inputs
+    Slice,     ///< row TimeIndex of a (T, F) sequence input -> {F}
+    Stack,     ///< broadcast a {F} input into a (Filters, F) sequence
+    Lstm,      ///< unrolled LSTM over per-timestep Inputs; Filters = hidden
+    Gru,       ///< unrolled GRU over per-timestep Inputs; Filters = hidden
+    Attention, ///< single-head attention over a (T, F) input; Filters = D
+  };
   Kind K = Kind::Conv;
   std::string Name;
-  int64_t Filters = 0; ///< Conv: output channels; Fc: outputs
+  /// Named inputs (graph edges). Empty means "the previous node's output"
+  /// — flat specs never set this. "data" names the network input.
+  std::vector<std::string> Inputs;
+  /// Fc only: tie weights and bias to the same-named fields of this
+  /// earlier Fc node (an explicit weight-sharing group). Shared layers
+  /// contribute no parameters of their own.
+  std::string ShareWith;
+  int64_t Filters = 0; ///< Conv channels; Fc outputs; Lstm/Gru hidden
+                       ///< width; Attention model dim; Stack timesteps
   int64_t Kernel = 0;
   int64_t Stride = 1;
   int64_t Pad = 0;
+  int64_t TimeIndex = 0; ///< Slice: which timestep row to extract
   double KeepProb = 0.5; ///< Dropout
 };
 
 struct ModelSpec {
   std::string Name;
-  Shape InputDims; ///< per item, e.g. (3, 227, 227)
+  Shape InputDims; ///< per item, e.g. (3, 227, 227) or (T, F) sequences
   int64_t NumClasses = 1000;
+  /// Nodes in topological order (inputs precede consumers).
   std::vector<LayerSpec> Layers;
 };
 
@@ -90,6 +125,24 @@ ModelSpec lenet();
 ModelSpec mlp(int64_t InputSize, std::vector<int64_t> HiddenWidths,
               int64_t NumClasses);
 
+// --- sequence models (graph-structured specs) -----------------------------
+
+/// Time-unrolled LSTM classifier over a (Timesteps, Features) sequence
+/// input: per-timestep Slice nodes feed one LSTM block whose gate weights
+/// are tied across timesteps; the final hidden state is classified.
+ModelSpec lstmClassifier(int64_t Timesteps = 3, int64_t Features = 6,
+                         int64_t Hidden = 5, int64_t NumClasses = 4);
+
+/// GRU variant of lstmClassifier.
+ModelSpec gruClassifier(int64_t Timesteps = 3, int64_t Features = 6,
+                        int64_t Hidden = 5, int64_t NumClasses = 4);
+
+/// Single-head scaled dot-product attention over a (Timesteps, Features)
+/// sequence: shared Q/K/V projections, softmax over keys, weighted-sum
+/// readout, then a classifier over the flattened (T, ModelDim) context.
+ModelSpec attentionClassifier(int64_t Timesteps = 4, int64_t Features = 6,
+                              int64_t ModelDim = 5, int64_t NumClasses = 4);
+
 // --- builders ---------------------------------------------------------------
 
 /// Builds the spec as a Latte network. When \p WithLoss is true, appends
@@ -99,10 +152,14 @@ core::Ensemble *buildLatte(core::Net &Net, const ModelSpec &Spec,
                            bool WithLoss);
 
 /// Builds the spec in the Caffe baseline (optimized layer library).
+/// Graph-structured nodes (explicit Inputs, ShareWith, sequence kinds)
+/// are rejected with a fatal error — the baselines exist for same-network
+/// comparison of the flat CNN/MLP suite only.
 void buildCaffe(caffe::CaffeNet &Net, const ModelSpec &Spec, bool WithLoss);
 
 /// Builds the spec in the Mocha baseline (naive layers). Dropout and Tanh
-/// specs are unsupported there and rejected.
+/// specs are unsupported there and rejected, as are all graph-structured
+/// nodes (see buildCaffe).
 void buildMocha(caffe::CaffeNet &Net, const ModelSpec &Spec, bool WithLoss);
 
 } // namespace models

@@ -42,8 +42,26 @@ std::vector<double> runtime::layerFlops(const ModelSpec &Spec) {
       break;
     case LayerSpec::Kind::Relu:
     case LayerSpec::Kind::Tanh:
+    case LayerSpec::Kind::Sigmoid:
     case LayerSpec::Kind::Dropout:
+    case LayerSpec::Kind::Add:
+    case LayerSpec::Kind::Mul:
+    case LayerSpec::Kind::Sub:
+    case LayerSpec::Kind::Slice:
+    case LayerSpec::Kind::Stack:
       F = static_cast<double>(Out.numElements());
+      break;
+    case LayerSpec::Kind::Lstm:
+    case LayerSpec::Kind::Gru:
+      // 2 MACs per tied parameter per timestep (number of inputs).
+      F = 2.0 * Audit[I].Params *
+          std::max<size_t>(size_t{1}, L.Inputs.size());
+      break;
+    case LayerSpec::Kind::Attention:
+      // Q/K/V projections per timestep plus the T x T score and readout
+      // interactions.
+      F = 2.0 * Audit[I].Params * Out[0] +
+          4.0 * Out[0] * Out[0] * Out[1];
       break;
     }
     Flops.push_back(F);

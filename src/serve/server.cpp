@@ -52,20 +52,32 @@ std::string ProgramCache::key(const models::ModelSpec &Spec,
   for (const models::LayerSpec &L : Spec.Layers) {
     F.i64(static_cast<int64_t>(L.K));
     F.str(L.Name);
+    // Graph structure: explicit input edges and weight-sharing groups are
+    // program-shaping just like the per-layer scalars.
+    F.i64(static_cast<int64_t>(L.Inputs.size()));
+    for (const std::string &In : L.Inputs)
+      F.str(In);
+    F.str(L.ShareWith);
     F.i64(L.Filters);
     F.i64(L.Kernel);
     F.i64(L.Stride);
     F.i64(L.Pad);
+    F.i64(L.TimeIndex);
     F.f64(L.KeepProb);
   }
   // Every switch that changes the assembled program. VerifyEach is a
   // checking knob, not a program-shaping one, and is deliberately absent.
+  // Keep this list in lockstep with CompileOptions: a missing field lets
+  // two option sets alias one cache entry and serve the wrong program
+  // (the Recompute/SliceRotation-era regression the rekey test pins).
   int64_t Bits = 0;
   for (bool B : {Opts.PatternMatchGemm, Opts.PatternMatchKernels, Opts.Tiling,
                  Opts.Fusion, Opts.Parallelize, Opts.VectorKernels,
-                 Opts.Recompute, Opts.Jit, Opts.Inference, Opts.GradSyncHooks})
+                 Opts.Recompute, Opts.Jit, Opts.SliceRotation, Opts.Inference,
+                 Opts.EvalDropout, Opts.GradSyncHooks})
     Bits = (Bits << 1) | (B ? 1 : 0);
   F.i64(Bits);
+  F.i64(Opts.RotateSlices);
   F.i64(Opts.TileSize);
   F.i64(Opts.MinRowsToTile);
   F.i64(BatchSize);

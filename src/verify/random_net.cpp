@@ -2,7 +2,9 @@
 
 #include "verify/random_net.h"
 
+#include "core/layers/attention.h"
 #include "core/layers/layers.h"
+#include "core/layers/recurrent.h"
 #include "support/rng.h"
 
 #include <sstream>
@@ -201,7 +203,7 @@ std::string verify::randomNet(Net &Net, uint64_t Seed,
       }
       }
     } else {
-      switch (R.uniformInt(8)) {
+      switch (R.uniformInt(10)) {
       case 0:
       case 1: { // fully connected (unshared fields)
         int64_t Outs = 3 + R.uniformInt(8);
@@ -263,6 +265,45 @@ std::string verify::randomNet(Net &Net, uint64_t Seed,
           Cur = FullyConnectedLayerShared(Net, Name("tied"), A, N, Owner);
           TieRisk = false;
           Desc << " -> tied-fc(" << N << ")x2";
+        } else {
+          Activation();
+        }
+        break;
+      case 8:
+        if (O.AllowRecurrent && Cur->dims().rank() == 1) {
+          // Broadcast the activation into a short sequence and run an
+          // unrolled recurrent cell over it: tied gate weights across
+          // timesteps, BPTT accumulation through the whole chain.
+          int T = 2 + static_cast<int>(R.uniformInt(2));
+          int64_t Hidden = 3 + R.uniformInt(3);
+          bool Gru = R.uniform() < 0.5;
+          std::string Base = Name(Gru ? "gru" : "lstm");
+          Ensemble *Seq = StackLayer(Net, Base + "_seq", Cur, T);
+          std::vector<Ensemble *> Xs;
+          for (int S = 0; S < T; ++S)
+            Xs.push_back(
+                SliceLayer(Net, Base + "_x" + std::to_string(S), Seq, S));
+          RecurrentOutputs RO = Gru ? GruLayer(Net, Base, Xs, Hidden)
+                                    : LstmLayer(Net, Base, Xs, Hidden);
+          Cur = RO.Hidden.back();
+          TieRisk = false;
+          Desc << " -> " << (Gru ? "gru" : "lstm") << "(t" << T << ",h"
+               << Hidden << ")";
+        } else {
+          Activation();
+        }
+        break;
+      case 9:
+        if (O.AllowAttention && Cur->dims().rank() == 1) {
+          // Single-head attention over a broadcast sequence: shared Q/K/V
+          // projections, dot-product scores, softmax over keys, readout.
+          int64_t T = 2 + R.uniformInt(2);
+          int64_t D = 2 + R.uniformInt(3);
+          std::string Base = Name("attn");
+          Ensemble *Seq = StackLayer(Net, Base + "_seq", Cur, T);
+          Cur = AttentionLayer(Net, Base, Seq, D);
+          TieRisk = false;
+          Desc << " -> attention(t" << T << ",d" << D << ")";
         } else {
           Activation();
         }

@@ -2,9 +2,10 @@
 ///
 /// \file
 /// A seeded generator of randomized ensemble graphs for fuzzing the
-/// compiler: conv / pooling / FC / activation / dropout / elementwise
-/// blocks with randomized shapes, strides and pads, shared (convolution
-/// filters, tied FC weights, per-ensemble scalars) and unshared fields,
+/// compiler: conv / pooling / FC / activation / dropout / elementwise /
+/// recurrent (unrolled LSTM/GRU) / attention blocks with randomized
+/// shapes, strides and pads, shared (convolution filters, tied FC and
+/// recurrent gate weights, per-ensemble scalars) and unshared fields,
 /// plus a custom neuron type no pattern matcher recognizes — so the
 /// optimization-lattice oracle exercises compiler paths (interpreted SoA
 /// loops, partial matches, odd geometries) that hand-written tests never
@@ -37,6 +38,10 @@ struct RandomNetOptions {
   bool AllowBranches = true;
   /// Cross-ensemble weight tying (FullyConnectedLayerShared).
   bool AllowSharedFc = true;
+  /// Unrolled shared-weight LSTM/GRU blocks over a broadcast sequence.
+  bool AllowRecurrent = true;
+  /// Single-head scaled dot-product attention blocks.
+  bool AllowAttention = true;
 };
 
 /// A custom neuron layer the standard library does not know about:

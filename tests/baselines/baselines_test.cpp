@@ -100,8 +100,8 @@ TEST(CaffeBaselineTest, LossDecreasesWithManualSgd) {
   caffe::CaffeNet Net(4);
   ModelSpec Spec = mlp(6, {12}, 3);
   // The Caffe baseline lacks Tanh; use a ReLU MLP instead.
-  Spec.Layers[1] = LayerSpec{LayerSpec::Kind::Relu, "relu1", 0, 0, 1, 0,
-                             0.5};
+  Spec.Layers[1].K = LayerSpec::Kind::Relu;
+  Spec.Layers[1].Name = "relu1";
   buildCaffe(Net, Spec, /*WithLoss=*/true);
   Net.setup(3);
   Net.inputBlob().Data = randomTensor(Shape{4, 6}, 11);

@@ -1,0 +1,243 @@
+//===- tests/core/attention_test.cpp --------------------------*- C++ -*-===//
+///
+/// Sequence-block layer tests: Slice/Stack plumbing, the time-distributed
+/// shared FC (and its GEMM pattern match), and the single-head scaled
+/// dot-product attention block checked against a hand-rolled reference.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/compiler.h"
+#include "core/layers/attention.h"
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace latte;
+using namespace latte::compiler;
+using namespace latte::core;
+using namespace latte::engine;
+using namespace latte::layers;
+
+namespace {
+
+bool gemmMatched(const Program &P, const std::string &Name) {
+  for (const std::string &E : P.Report.MatchedGemmEnsembles)
+    if (E == Name)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(AttentionLayersTest, SliceExtractsOneTimestep) {
+  const int64_t T = 3, F = 4, Batch = 2;
+  Net Net(Batch);
+  Ensemble *Data = DataLayer(Net, "data", Shape{T, F});
+  Ensemble *X1 = SliceLayer(Net, "x1", Data, 1);
+  EXPECT_EQ(X1->dims(), Shape({F}));
+
+  Executor Ex(compile(Net));
+  Tensor In(Shape{Batch, T, F});
+  for (int64_t I = 0; I < In.numElements(); ++I)
+    In.at(I) = static_cast<float>(I);
+  Ex.writeBuffer("data_value", In);
+  Ex.forward();
+  Tensor Out = Ex.readBuffer("x1_value");
+  ASSERT_EQ(Out.numElements(), Batch * F);
+  for (int64_t B = 0; B < Batch; ++B)
+    for (int64_t J = 0; J < F; ++J)
+      EXPECT_EQ(Out.at(B * F + J), In.at(B * T * F + 1 * F + J));
+}
+
+TEST(AttentionLayersTest, StackBroadcastsAndSumsGradients) {
+  const int64_t T = 3, F = 2, Batch = 1;
+  Net Net(Batch);
+  Ensemble *Data = DataLayer(Net, "data", Shape{F});
+  Ensemble *Seq = StackLayer(Net, "seq", Data, T);
+  EXPECT_EQ(Seq->dims(), Shape({T, F}));
+  Ensemble *Fc = FullyConnectedLayer(Net, "fc", Seq, 2);
+  Ensemble *Labels = LabelLayer(Net, "labels");
+  SoftmaxLossLayer(Net, "loss", Fc, Labels);
+
+  Executor Ex(compile(Net));
+  Ex.initParams(5);
+  Tensor In(Shape{Batch, F});
+  In.at(0) = 0.3f;
+  In.at(1) = -0.7f;
+  Ex.writeBuffer("data_value", In);
+  Tensor L(Shape{Batch, 1});
+  L.at(0) = 1.0f;
+  Ex.setLabels(L);
+  Ex.forward();
+  // Every row of the stacked sequence is a copy of the input.
+  Tensor Out = Ex.readBuffer("seq_value");
+  for (int64_t R = 0; R < T; ++R)
+    for (int64_t J = 0; J < F; ++J)
+      EXPECT_EQ(Out.at(R * F + J), In.at(J));
+  // The broadcast backward sums the T per-row gradients into the source.
+  Ex.backward();
+  Tensor Gin = Ex.readBuffer("data_grad");
+  Tensor Gseq = Ex.readBuffer("seq_grad");
+  for (int64_t J = 0; J < F; ++J) {
+    float Sum = 0;
+    for (int64_t R = 0; R < T; ++R)
+      Sum += Gseq.at(R * F + J);
+    EXPECT_NEAR(Gin.at(J), Sum, 1e-6);
+  }
+}
+
+TEST(AttentionLayersTest, TimeDistributedFcMatchesGemmAndReference) {
+  const int64_t T = 3, F = 4, D = 5, Batch = 2;
+  Net Net(Batch);
+  Ensemble *Data = DataLayer(Net, "data", Shape{T, F});
+  Ensemble *Proj = TimeDistributedFcLayer(Net, "proj", Data, D);
+  EXPECT_EQ(Proj->dims(), Shape({T, D}));
+
+  Program P = compile(Net);
+  EXPECT_TRUE(gemmMatched(P, "proj"))
+      << "time-distributed FC must lower onto the batched GEMM";
+
+  Executor Ex(P.clone());
+  Ex.initParams(7);
+  Rng R(17);
+  Tensor In(Shape{Batch, T, F});
+  R.fillGaussian(In, 0.0f, 1.0f);
+  Ex.writeBuffer("data_value", In);
+  Ex.forward();
+
+  Tensor W = Ex.readBuffer("proj_weights");
+  Tensor B = Ex.readBuffer("proj_bias");
+  Tensor Out = Ex.readBuffer("proj_value");
+  for (int64_t N = 0; N < Batch; ++N)
+    for (int64_t S = 0; S < T; ++S)
+      for (int64_t O = 0; O < D; ++O) {
+        double Acc = B.at(O);
+        for (int64_t K = 0; K < F; ++K)
+          Acc += W.at(O * F + K) * In.at((N * T + S) * F + K);
+        EXPECT_NEAR(Out.at((N * T + S) * D + O), Acc, 1e-4)
+            << "n=" << N << " t=" << S << " d=" << O;
+      }
+}
+
+TEST(AttentionLayersTest, AttentionForwardMatchesReference) {
+  const int64_t T = 3, F = 4, D = 2, Batch = 2;
+  Net Net(Batch);
+  Ensemble *Data = DataLayer(Net, "data", Shape{T, F});
+  Ensemble *Ctx = AttentionLayer(Net, "attn", Data, D);
+  EXPECT_EQ(Ctx->dims(), Shape({T, D}));
+
+  Executor Ex(compile(Net));
+  Ex.initParams(23);
+  Rng R(29);
+  Tensor In(Shape{Batch, T, F});
+  R.fillGaussian(In, 0.0f, 1.0f);
+  Ex.writeBuffer("data_value", In);
+  Ex.forward();
+
+  auto Wq = Ex.readBuffer("attn_q_weights"), Bq = Ex.readBuffer("attn_q_bias");
+  auto Wk = Ex.readBuffer("attn_k_weights"), Bk = Ex.readBuffer("attn_k_bias");
+  auto Wv = Ex.readBuffer("attn_v_weights"), Bv = Ex.readBuffer("attn_v_bias");
+  Tensor Out = Ex.readBuffer("attn_out_value");
+
+  auto Project = [&](const Tensor &W, const Tensor &B, int64_t N, int64_t S,
+                     int64_t O) {
+    double Acc = B.at(O);
+    for (int64_t K = 0; K < F; ++K)
+      Acc += W.at(O * F + K) * In.at((N * T + S) * F + K);
+    return Acc;
+  };
+  const double Scale = 1.0 / std::sqrt(static_cast<double>(D));
+  for (int64_t N = 0; N < Batch; ++N) {
+    std::vector<double> Q(T * D), K(T * D), V(T * D);
+    for (int64_t S = 0; S < T; ++S)
+      for (int64_t O = 0; O < D; ++O) {
+        Q[S * D + O] = Project(Wq, Bq, N, S, O);
+        K[S * D + O] = Project(Wk, Bk, N, S, O);
+        V[S * D + O] = Project(Wv, Bv, N, S, O);
+      }
+    for (int64_t I = 0; I < T; ++I) {
+      std::vector<double> Scores(T), Probs(T);
+      double Max = -1e30;
+      for (int64_t J = 0; J < T; ++J) {
+        double Dot = 0;
+        for (int64_t O = 0; O < D; ++O)
+          Dot += Q[I * D + O] * K[J * D + O];
+        Scores[J] = Scale * Dot;
+        Max = std::max(Max, Scores[J]);
+      }
+      double Z = 0;
+      for (int64_t J = 0; J < T; ++J)
+        Z += std::exp(Scores[J] - Max);
+      for (int64_t J = 0; J < T; ++J)
+        Probs[J] = std::exp(Scores[J] - Max) / Z;
+      for (int64_t O = 0; O < D; ++O) {
+        double Acc = 0;
+        for (int64_t J = 0; J < T; ++J)
+          Acc += Probs[J] * V[J * D + O];
+        EXPECT_NEAR(Out.at((N * T + I) * D + O), Acc, 2e-4)
+            << "n=" << N << " i=" << I << " d=" << O;
+      }
+    }
+  }
+}
+
+TEST(AttentionLayersTest, QkvProjectionsAreGemmMatched) {
+  Net Net(2);
+  Ensemble *Data = DataLayer(Net, "data", Shape{4, 6});
+  AttentionLayer(Net, "attn", Data, 5);
+  Program P = compile(Net);
+  for (const char *E : {"attn_q", "attn_k", "attn_v"})
+    EXPECT_TRUE(gemmMatched(P, E)) << E;
+}
+
+TEST(AttentionLayersTest, AttentionGradientCheck) {
+  // Finite differences through the whole block: scores, softmax, readout,
+  // and all three tied projections.
+  const int64_t T = 3, F = 3, D = 2, Batch = 2;
+  Net Net(Batch);
+  Ensemble *Data = DataLayer(Net, "data", Shape{T, F});
+  Ensemble *Ctx = AttentionLayer(Net, "attn", Data, D);
+  Ensemble *Fc = FullyConnectedLayer(Net, "fc", Ctx, 3);
+  Ensemble *Labels = LabelLayer(Net, "labels");
+  SoftmaxLossLayer(Net, "loss", Fc, Labels);
+
+  Executor Ex(compile(Net));
+  Ex.initParams(31);
+  Rng R(37);
+  Tensor In(Shape{Batch, T, F});
+  R.fillGaussian(In, 0.0f, 1.0f);
+  Ex.writeBuffer("data_value", In);
+  Tensor L(Shape{Batch, 1});
+  L.at(1) = 2.0f;
+  Ex.setLabels(L);
+  Ex.forward();
+  Ex.backward();
+
+  auto CheckParam = [&](const std::string &Value, const std::string &Grad) {
+    Tensor G = Ex.readBuffer(Grad);
+    Tensor W = Ex.readBuffer(Value);
+    const float Eps = 1e-2f;
+    for (int64_t I = 0; I < W.numElements(); I += 2) {
+      float Orig = W.at(I);
+      W.at(I) = Orig + Eps;
+      Ex.writeBuffer(Value, W);
+      Ex.forward();
+      double Plus = Ex.lossValue();
+      W.at(I) = Orig - Eps;
+      Ex.writeBuffer(Value, W);
+      Ex.forward();
+      double Minus = Ex.lossValue();
+      W.at(I) = Orig;
+      Ex.writeBuffer(Value, W);
+      EXPECT_NEAR(G.at(I), (Plus - Minus) / (2 * Eps), 3e-3)
+          << Value << " element " << I;
+    }
+  };
+  CheckParam("attn_q_weights", "attn_q_grad_weights");
+  CheckParam("attn_k_weights", "attn_k_grad_weights");
+  CheckParam("attn_v_weights", "attn_v_grad_weights");
+  CheckParam("attn_v_bias", "attn_v_grad_bias");
+}

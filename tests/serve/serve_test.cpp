@@ -9,6 +9,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/layers/layers.h"
 #include "serve/batcher.h"
 #include "serve/server.h"
 #include "support/timer.h"
@@ -19,6 +20,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <functional>
 #include <thread>
 
 using namespace latte;
@@ -226,6 +228,91 @@ TEST(Server, ProgramCacheHitsOnSecondServer) {
             serve::ProgramCache::key(Spec, NoFusion, 1));
 }
 
+TEST(Server, ProgramCacheKeyCoversAllProgramShapingOptions) {
+  // Regression pin for the fingerprint audit: every program-shaping
+  // CompileOptions field must perturb the cache key. The Recompute and
+  // SliceRotation era added fields without rekeying, so two option sets
+  // aliased one entry and the server served the wrong program.
+  models::ModelSpec Spec = testSpec();
+  const compiler::CompileOptions Base;
+  auto K = [&](const compiler::CompileOptions &CO) {
+    return serve::ProgramCache::key(Spec, CO, 2);
+  };
+  struct FieldFlip {
+    const char *Name;
+    std::function<void(compiler::CompileOptions &)> Flip;
+  };
+  const FieldFlip Flips[] = {
+      {"PatternMatchGemm", [](auto &C) { C.PatternMatchGemm ^= true; }},
+      {"PatternMatchKernels", [](auto &C) { C.PatternMatchKernels ^= true; }},
+      {"Tiling", [](auto &C) { C.Tiling ^= true; }},
+      {"Fusion", [](auto &C) { C.Fusion ^= true; }},
+      {"Parallelize", [](auto &C) { C.Parallelize ^= true; }},
+      {"VectorKernels", [](auto &C) { C.VectorKernels ^= true; }},
+      {"Recompute", [](auto &C) { C.Recompute ^= true; }},
+      {"Jit", [](auto &C) { C.Jit ^= true; }},
+      {"SliceRotation", [](auto &C) { C.SliceRotation ^= true; }},
+      {"RotateSlices", [](auto &C) { C.RotateSlices = 3; }},
+      {"Inference", [](auto &C) { C.Inference ^= true; }},
+      {"EvalDropout", [](auto &C) { C.EvalDropout ^= true; }},
+      {"GradSyncHooks", [](auto &C) { C.GradSyncHooks ^= true; }},
+      {"TileSize", [](auto &C) { C.TileSize += 4; }},
+      {"MinRowsToTile", [](auto &C) { C.MinRowsToTile += 8; }},
+  };
+  for (const FieldFlip &F : Flips) {
+    compiler::CompileOptions CO = Base;
+    F.Flip(CO);
+    EXPECT_NE(K(Base), K(CO)) << "CompileOptions::" << F.Name
+                              << " does not reach the cache fingerprint";
+  }
+  // Graph-structure fields of the spec are program-shaping too.
+  models::ModelSpec Tied = Spec;
+  Tied.Layers[0].ShareWith = "conv0";
+  EXPECT_NE(serve::ProgramCache::key(Spec, Base, 2),
+            serve::ProgramCache::key(Tied, Base, 2));
+  models::ModelSpec Edged = Spec;
+  Edged.Layers[0].Inputs.push_back("data");
+  EXPECT_NE(serve::ProgramCache::key(Spec, Base, 2),
+            serve::ProgramCache::key(Edged, Base, 2));
+  models::ModelSpec Timed = Spec;
+  Timed.Layers[0].TimeIndex = 1;
+  EXPECT_NE(serve::ProgramCache::key(Spec, Base, 2),
+            serve::ProgramCache::key(Timed, Base, 2));
+}
+
+TEST(Server, SequenceModelsServeBitwiseLikeTraining) {
+  // The graph-structured specs must flow through the whole serving stack:
+  // compile cache, replica weight sharing, micro-batching, and the padded
+  // tail — and still return the training-forward bits.
+  for (const models::ModelSpec &Spec :
+       {models::lstmClassifier(), models::attentionClassifier()}) {
+    serve::ServeOptions SO;
+    SO.Replicas = 1;
+    SO.BatchSizes = {2};
+    SO.FlushDeadlineMicros = 1000;
+    SO.Exec.Deterministic = true;
+    serve::Server Srv(Spec, {}, SO);
+    Srv.start();
+    Tensor Item = randomItem(Spec.InputDims, 77);
+    std::future<Tensor> Fut;
+    ASSERT_TRUE(Srv.submit(Item, &Fut));
+    Tensor Served = Fut.get();
+    Srv.stop();
+
+    core::Net Net(1);
+    models::buildLatte(Net, Spec, /*WithLoss=*/true);
+    engine::ExecOptions EO;
+    EO.Seed = SO.ParamSeed;
+    EO.Deterministic = true;
+    engine::Executor Ref(compiler::compileForward(Net), EO);
+    Ref.setInput(Item);
+    Ref.forward();
+    EXPECT_TRUE(
+        bitwiseEqual(Served, Ref.readBuffer(Ref.program().ProbBuffer)))
+        << Spec.Name;
+  }
+}
+
 // --- inference compilation -------------------------------------------------
 
 TEST(InferenceCompile, ForwardOnlyArenaIsStrictlySmaller) {
@@ -291,6 +378,64 @@ TEST(InferenceCompile, ForwardBitwiseIdenticalToTrainingAcrossLattice) {
     }
     ASSERT_GE(Compared, 8) << "mask " << Mask << " compared too little";
   }
+}
+
+TEST(InferenceCompile, EvalDropoutIsOptInExpectationScaling) {
+  // A dropout net served two ways. Default: inference keeps the exact
+  // training-parity semantics (deterministic mask RNG), preserving the
+  // bitwise train/serve contract. Opt-in EvalDropout: the mask RNG is
+  // skipped and the activation is scaled by KeepProb (the expectation),
+  // the conventional eval-mode dropout.
+  const double Keep = 0.8;
+  core::Net Net(2);
+  core::Ensemble *Data = layers::DataLayer(Net, "data", Shape{6});
+  core::Ensemble *Fc = layers::FullyConnectedLayer(Net, "fc", Data, 5);
+  core::Ensemble *Drop = layers::DropoutLayer(Net, "drop", Fc, Keep);
+  core::Ensemble *Out = layers::FullyConnectedLayer(Net, "out", Drop, 3);
+  core::Ensemble *Labels = layers::LabelLayer(Net, "labels");
+  layers::SoftmaxLossLayer(Net, "loss", Out, Labels);
+
+  engine::ExecOptions EO;
+  EO.Deterministic = true;
+  EO.NoMemPlan = true; // keep intermediates readable
+  EO.Seed = 17;
+  Tensor In = randomItem(Shape{2, 6}, 23);
+
+  engine::Executor Train(compiler::compile(Net), EO);
+  engine::Executor InferDefault(compiler::compileForward(Net), EO);
+  compiler::CompileOptions Eval;
+  Eval.EvalDropout = true;
+  engine::Executor InferEval(compiler::compileForward(Net, Eval), EO);
+  for (engine::Executor *Ex : {&Train, &InferDefault, &InferEval}) {
+    Ex->setInput(In);
+    Ex->forward();
+  }
+
+  // Default serving path: bitwise identical to the training forward,
+  // dropped units and all.
+  EXPECT_TRUE(bitwiseEqual(InferDefault.readBuffer("drop_value"),
+                           Train.readBuffer("drop_value")));
+  EXPECT_TRUE(bitwiseEqual(InferDefault.readBuffer("out_value"),
+                           Train.readBuffer("out_value")));
+
+  // Opt-in path: every unit present, scaled by KeepProb; necessarily
+  // different from the masked training activation.
+  Tensor Src = InferEval.readBuffer("fc_value");
+  Tensor Scaled = InferEval.readBuffer("drop_value");
+  ASSERT_EQ(Scaled.numElements(), Src.numElements());
+  for (int64_t I = 0; I < Src.numElements(); ++I)
+    EXPECT_EQ(Scaled.at(I), Src.at(I) * static_cast<float>(Keep))
+        << "element " << I;
+  EXPECT_FALSE(bitwiseEqual(Scaled, Train.readBuffer("drop_value")));
+
+  // EvalDropout without Inference is inert: training always trains.
+  compiler::CompileOptions TrainEval;
+  TrainEval.EvalDropout = true;
+  engine::Executor Train2(compiler::compile(Net, TrainEval), EO);
+  Train2.setInput(In);
+  Train2.forward();
+  EXPECT_TRUE(bitwiseEqual(Train2.readBuffer("drop_value"),
+                           Train.readBuffer("drop_value")));
 }
 
 // --- training-only APIs reject inference programs --------------------------

@@ -85,6 +85,37 @@ TEST(FuzzTest, LatticeSeed8) { fuzzOne(8); }
 TEST(FuzzTest, LatticeSeed9) { fuzzOne(9); }
 TEST(FuzzTest, LatticeSeed10) { fuzzOne(10); }
 
+TEST(FuzzTest, GeneratorGrowsSequenceGenomes) {
+  // The genome pool must actually contain recurrent and attention blocks;
+  // the toggles prune them deterministically.
+  int Recurrent = 0, Attention = 0;
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    Net Net(2);
+    std::string D = verify::randomNet(Net, Seed);
+    Recurrent += D.find("lstm") != std::string::npos ||
+                 D.find("gru") != std::string::npos;
+    Attention += D.find("attention") != std::string::npos;
+  }
+  EXPECT_GT(Recurrent, 0);
+  EXPECT_GT(Attention, 0);
+
+  verify::RandomNetOptions NoSeq;
+  NoSeq.AllowRecurrent = false;
+  NoSeq.AllowAttention = false;
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    Net Net(2);
+    std::string D = verify::randomNet(Net, Seed, NoSeq);
+    EXPECT_EQ(D.find("lstm"), std::string::npos) << D;
+    EXPECT_EQ(D.find("gru"), std::string::npos) << D;
+    EXPECT_EQ(D.find("attention"), std::string::npos) << D;
+  }
+}
+
+// Chained sequence genomes (checked against the generator: seed 18 grows
+// lstm -> gru, seed 22 grows lstm -> attention) through the full sweep.
+TEST(FuzzTest, LatticeStackedRecurrent) { fuzzOne(18); }
+TEST(FuzzTest, LatticeRecurrentIntoAttention) { fuzzOne(22); }
+
 TEST(FuzzTest, LatticeDeepNet) {
   // A deeper configuration than the default block budget allows.
   verify::RandomNetOptions O;

@@ -12,6 +12,7 @@
 
 #include "compiler/compiler.h"
 #include "core/layers/layers.h"
+#include "models/models.h"
 #include "verify/random_net.h"
 
 #include <gtest/gtest.h>
@@ -187,6 +188,39 @@ TEST(GradCheckTest, DetectsWrongGradient) {
   EXPECT_FALSE(R.Failures[0].Buffer.empty());
   EXPECT_NE(R.summary().find("0xbad"), std::string::npos)
       << "summary must print the reproduction seed: " << R.summary();
+}
+
+TEST(GradCheckTest, UnrolledLstmBptt) {
+  // Three timesteps of tied gate weights: the analytic gradient is the
+  // BPTT accumulation over all unrolled uses of each shared parameter, and
+  // finite differences on the owner buffer must agree.
+  Net Net(2);
+  models::buildLatte(Net, models::lstmClassifier(3, 4, 3, 3),
+                     /*WithLoss=*/true);
+  auto Ex = makeExecutor(Net, 3);
+  verify::GradCheckReport R = verify::gradCheck(*Ex);
+  EXPECT_TRUE(R.Passed) << R.summary();
+  EXPECT_GT(R.NumChecked, 0);
+}
+
+TEST(GradCheckTest, UnrolledGruBptt) {
+  Net Net(2);
+  models::buildLatte(Net, models::gruClassifier(3, 4, 3, 3),
+                     /*WithLoss=*/true);
+  auto Ex = makeExecutor(Net, 3);
+  verify::GradCheckReport R = verify::gradCheck(*Ex);
+  EXPECT_TRUE(R.Passed) << R.summary();
+}
+
+TEST(GradCheckTest, AttentionBlock) {
+  // Q/K/V shared projections, the softmax over keys, and the weighted-sum
+  // readout must all be differentiable through the library checker.
+  Net Net(2);
+  models::buildLatte(Net, models::attentionClassifier(3, 4, 3, 3),
+                     /*WithLoss=*/true);
+  auto Ex = makeExecutor(Net, 3);
+  verify::GradCheckReport R = verify::gradCheck(*Ex);
+  EXPECT_TRUE(R.Passed) << R.summary();
 }
 
 TEST(GradCheckTest, RandomNetsGradCheck) {

@@ -14,6 +14,7 @@
 #include "verify/lattice.h"
 
 #include "core/layers/layers.h"
+#include "models/models.h"
 #include "verify/random_net.h"
 
 #include <gtest/gtest.h>
@@ -153,6 +154,41 @@ TEST(LatticeTest, CustomNeuronLattice) {
   buildCustomNet(Net);
   verify::LatticeReport R =
       verify::runLattice(Net, {}, "hand-built custom/branching net");
+  EXPECT_TRUE(R.Passed) << R.summary();
+  EXPECT_EQ(R.PointsRun, static_cast<int>(verify::sweepMasks().size()));
+}
+
+TEST(LatticeTest, UnrolledLstmLattice) {
+  // The unrolled shared-weight LSTM across the whole per-PR mask tier:
+  // tied-gate GEMM matching, fusion, memory planning over aliased weight
+  // roots, slice rotation, and the JIT probes must all stay bitwise
+  // faithful to the interpreter, gradients included (BPTT).
+  Net Net(2);
+  models::buildLatte(Net, models::lstmClassifier(3, 4, 3, 3),
+                     /*WithLoss=*/true);
+  verify::LatticeReport R =
+      verify::runLattice(Net, {}, "unrolled LSTM classifier");
+  EXPECT_TRUE(R.Passed) << R.summary();
+  EXPECT_EQ(R.PointsRun, static_cast<int>(verify::sweepMasks().size()));
+}
+
+TEST(LatticeTest, UnrolledGruLattice) {
+  Net Net(2);
+  models::buildLatte(Net, models::gruClassifier(3, 4, 3, 3),
+                     /*WithLoss=*/true);
+  verify::LatticeReport R =
+      verify::runLattice(Net, {}, "unrolled GRU classifier");
+  EXPECT_TRUE(R.Passed) << R.summary();
+}
+
+TEST(LatticeTest, AttentionLattice) {
+  // First non-affine connection pattern through the sweep: dot-product
+  // scores, the last-axis softmax, and the probability-weighted readout.
+  Net Net(2);
+  models::buildLatte(Net, models::attentionClassifier(3, 4, 3, 3),
+                     /*WithLoss=*/true);
+  verify::LatticeReport R =
+      verify::runLattice(Net, {}, "single-head attention classifier");
   EXPECT_TRUE(R.Passed) << R.summary();
   EXPECT_EQ(R.PointsRun, static_cast<int>(verify::sweepMasks().size()));
 }

@@ -57,14 +57,20 @@ struct Options {
   std::string Expect;  ///< diagnostic code required under --corrupt
 };
 
-const char *kModels[] = {"lenet",    "mlp",  "alexnet", "vgga",
-                         "vgg16",    "vgg3", "overfeat"};
+const char *kModels[] = {"lenet", "mlp",      "alexnet", "vgga", "vgg16",
+                         "vgg3",  "overfeat", "lstm",    "gru",  "attn"};
 
 models::ModelSpec specFor(const std::string &Name, double Scale) {
   if (Name == "lenet")
     return models::lenet();
   if (Name == "mlp")
     return models::mlp(64, {32, 16}, 10);
+  if (Name == "lstm")
+    return models::lstmClassifier();
+  if (Name == "gru")
+    return models::gruClassifier();
+  if (Name == "attn")
+    return models::attentionClassifier();
   if (Name == "alexnet")
     return models::alexNet(Scale);
   if (Name == "vgga")
