@@ -7,13 +7,15 @@
 /// gate merges.
 ///
 ///   bench/compare old.json new.json [--threshold 1.5] [--markdown]
-///                 [--rows label1,label2]
+///                 [--rows label1,label2] [--metrics m1,m2]
 ///
 /// `--markdown` prints a GitHub-flavored table instead of the plain
 /// report — CI appends it to $GITHUB_STEP_SUMMARY. `--rows` restricts the
-/// comparison to the named row labels: the serve-smoke job hard-gates only
-/// the `serve_throughput` speedup row at a tight threshold, then reruns
-/// without the filter (informationally) for the summary table.
+/// comparison to the named row labels and `--metrics` to the named metric
+/// columns: the serve-smoke job hard-gates the `serve_throughput` speedup
+/// row and the `serve_p50` row's machine-normalized `latency_norm` at
+/// tight thresholds, then reruns without the filters (informationally)
+/// for the summary table.
 ///
 /// Exit codes: 0 = within threshold, 1 = regression, 2 = usage/parse error.
 ///
@@ -33,13 +35,17 @@ int main(int argc, char **argv) {
   std::string OldPath, NewPath;
   double Threshold = 1.5;
   bool Markdown = false;
-  std::vector<std::string> Rows;
+  std::vector<std::string> Rows, Metrics;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--threshold") == 0 && I + 1 < argc) {
       Threshold = std::atof(argv[++I]);
     } else if (std::strcmp(argv[I], "--markdown") == 0) {
       Markdown = true;
-    } else if (std::strcmp(argv[I], "--rows") == 0 && I + 1 < argc) {
+    } else if ((std::strcmp(argv[I], "--rows") == 0 ||
+                std::strcmp(argv[I], "--metrics") == 0) &&
+               I + 1 < argc) {
+      std::vector<std::string> &Dst =
+          std::strcmp(argv[I], "--rows") == 0 ? Rows : Metrics;
       std::string List = argv[++I];
       size_t Pos = 0;
       while (Pos <= List.size()) {
@@ -47,12 +53,12 @@ int main(int argc, char **argv) {
         if (Comma == std::string::npos)
           Comma = List.size();
         if (Comma > Pos)
-          Rows.push_back(List.substr(Pos, Comma - Pos));
+          Dst.push_back(List.substr(Pos, Comma - Pos));
         Pos = Comma + 1;
       }
     } else if (std::strcmp(argv[I], "--help") == 0) {
       std::printf("usage: compare old.json new.json [--threshold R] "
-                  "[--markdown] [--rows a,b]\n");
+                  "[--markdown] [--rows a,b] [--metrics m,n]\n");
       return 0;
     } else if (OldPath.empty()) {
       OldPath = argv[I];
@@ -85,7 +91,8 @@ int main(int argc, char **argv) {
 
   bench::CompareResult R = bench::compareBenchJson(
       Old, New, Threshold, /*MinDeltaSec=*/1e-4,
-      Rows.empty() ? nullptr : &Rows);
+      Rows.empty() ? nullptr : &Rows,
+      Metrics.empty() ? nullptr : &Metrics);
   std::fputs(Markdown ? bench::formatCompareMarkdown(R, Threshold).c_str()
                       : bench::formatCompareReport(R, Threshold).c_str(),
              stdout);

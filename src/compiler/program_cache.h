@@ -1,0 +1,94 @@
+//===- compiler/program_cache.h - Shape-class compile cache ----*- C++ -*-===//
+///
+/// \file
+/// Process-global cache of compiled programs keyed by (model fingerprint,
+/// program-shaping compile options, batch size) — one entry per *shape
+/// class*. Grown out of the serving runtime (src/serve), it now lives in
+/// the compiler because it is the compiler's memoization layer: anything
+/// that compiles the same spec repeatedly (servers, benchmarks, tools)
+/// shares it.
+///
+/// Concurrency contract:
+///
+///   * getOrCompile is **single-flight** per key: when N threads miss the
+///     same cold key concurrently, exactly one performs the compile while
+///     the rest block on its result (Stats::Coalesced counts them). The
+///     cache mutex is *not* held during compilation, so distinct keys
+///     compile in parallel.
+///   * lookup never compiles — it is the non-blocking probe the serving
+///     runtime's degradation ladder uses to decide between a warm program
+///     and a fallback path while a background compile is in flight.
+///   * Installation is atomic: a key is either absent or maps to a fully
+///     compiled immutable program; readers never observe a partial one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LATTE_COMPILER_PROGRAM_CACHE_H
+#define LATTE_COMPILER_PROGRAM_CACHE_H
+
+#include "compiler/compiler.h"
+#include "models/models.h"
+
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace latte {
+namespace compiler {
+
+class ProgramCache {
+public:
+  using ProgramPtr = std::shared_ptr<const Program>;
+
+  static ProgramCache &instance();
+
+  /// The cache key: an FNV-1a fingerprint of the spec's full topology plus
+  /// every compile switch that changes the assembled program, then the
+  /// batch size (the shape class). Exposed for tests.
+  static std::string key(const models::ModelSpec &Spec,
+                         const CompileOptions &Opts, int64_t BatchSize);
+
+  /// Returns the cached program for the shape class, compiling it first on
+  /// a miss. Single-flight: concurrent misses on one key produce exactly
+  /// one compile (Stats::Compiles); the followers block until the leader
+  /// installs and count as Stats::Coalesced.
+  ProgramPtr getOrCompile(const models::ModelSpec &Spec,
+                          const CompileOptions &Opts, int64_t BatchSize);
+
+  /// Non-blocking probe: the cached program, or nullptr when the shape
+  /// class is cold (including while a compile for it is in flight). Never
+  /// compiles.
+  ProgramPtr lookup(const models::ModelSpec &Spec, const CompileOptions &Opts,
+                    int64_t BatchSize) const;
+
+  struct Stats {
+    int64_t Hits = 0;      ///< ready-program lookups
+    int64_t Misses = 0;    ///< cold lookups (leader + coalesced)
+    int64_t Compiles = 0;  ///< compiles actually executed
+    int64_t Coalesced = 0; ///< misses that joined another thread's compile
+  };
+  Stats stats() const;
+  void clear(); ///< tests & cold-cache benchmarks only
+
+  /// Test hook: invoked with the cache key on the compiling thread while
+  /// its compile is in flight (outside the cache lock). Lets tests prove
+  /// that distinct keys compile concurrently and delay installs to force
+  /// the serving fallback ladder. Pass nullptr to reset.
+  static void setCompileObserverForTests(
+      std::function<void(const std::string &)> Observer);
+
+private:
+  ProgramCache() = default;
+  mutable std::mutex Mu;
+  std::map<std::string, ProgramPtr> Cache;
+  std::map<std::string, std::shared_future<ProgramPtr>> InFlight;
+  Stats St;
+};
+
+} // namespace compiler
+} // namespace latte
+
+#endif // LATTE_COMPILER_PROGRAM_CACHE_H

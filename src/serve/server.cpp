@@ -7,118 +7,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <sstream>
+#include <thread>
 
 using namespace latte;
 using namespace latte::serve;
-
-// --- ProgramCache ----------------------------------------------------------
-
-namespace {
-
-/// FNV-1a, the same cheap content hash the JIT module cache uses.
-struct Fnv {
-  uint64_t H = 1469598103934665603ull;
-  void bytes(const void *P, size_t N) {
-    const auto *B = static_cast<const unsigned char *>(P);
-    for (size_t I = 0; I < N; ++I) {
-      H ^= B[I];
-      H *= 1099511628211ull;
-    }
-  }
-  void str(const std::string &S) {
-    bytes(S.data(), S.size());
-    bytes("\0", 1);
-  }
-  void i64(int64_t V) { bytes(&V, sizeof V); }
-  void f64(double V) { bytes(&V, sizeof V); }
-};
-
-} // namespace
-
-ProgramCache &ProgramCache::instance() {
-  static ProgramCache C;
-  return C;
-}
-
-std::string ProgramCache::key(const models::ModelSpec &Spec,
-                              const compiler::CompileOptions &Opts,
-                              int64_t BatchSize) {
-  Fnv F;
-  F.str(Spec.Name);
-  for (int64_t D : Spec.InputDims.dims())
-    F.i64(D);
-  F.i64(Spec.NumClasses);
-  for (const models::LayerSpec &L : Spec.Layers) {
-    F.i64(static_cast<int64_t>(L.K));
-    F.str(L.Name);
-    // Graph structure: explicit input edges and weight-sharing groups are
-    // program-shaping just like the per-layer scalars.
-    F.i64(static_cast<int64_t>(L.Inputs.size()));
-    for (const std::string &In : L.Inputs)
-      F.str(In);
-    F.str(L.ShareWith);
-    F.i64(L.Filters);
-    F.i64(L.Kernel);
-    F.i64(L.Stride);
-    F.i64(L.Pad);
-    F.i64(L.TimeIndex);
-    F.f64(L.KeepProb);
-  }
-  // Every switch that changes the assembled program. VerifyEach is a
-  // checking knob, not a program-shaping one, and is deliberately absent.
-  // Keep this list in lockstep with CompileOptions: a missing field lets
-  // two option sets alias one cache entry and serve the wrong program
-  // (the Recompute/SliceRotation-era regression the rekey test pins).
-  int64_t Bits = 0;
-  for (bool B : {Opts.PatternMatchGemm, Opts.PatternMatchKernels, Opts.Tiling,
-                 Opts.Fusion, Opts.Parallelize, Opts.VectorKernels,
-                 Opts.Recompute, Opts.Jit, Opts.SliceRotation, Opts.Inference,
-                 Opts.EvalDropout, Opts.GradSyncHooks})
-    Bits = (Bits << 1) | (B ? 1 : 0);
-  F.i64(Bits);
-  F.i64(Opts.RotateSlices);
-  F.i64(Opts.TileSize);
-  F.i64(Opts.MinRowsToTile);
-  F.i64(BatchSize);
-
-  std::ostringstream Os;
-  Os << Spec.Name << ":b" << BatchSize << ":" << std::hex << F.H;
-  return Os.str();
-}
-
-std::shared_ptr<const compiler::Program>
-ProgramCache::getOrCompile(const models::ModelSpec &Spec,
-                           const compiler::CompileOptions &Opts,
-                           int64_t BatchSize) {
-  std::string K = key(Spec, Opts, BatchSize);
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Cache.find(K);
-  if (It != Cache.end()) {
-    ++St.Hits;
-    return It->second;
-  }
-  ++St.Misses;
-  core::Net Net(BatchSize);
-  models::buildLatte(Net, Spec, /*WithLoss=*/true);
-  auto Prog = std::make_shared<compiler::Program>(
-      compiler::compile(Net, Opts));
-  Cache.emplace(K, Prog);
-  return Prog;
-}
-
-ProgramCache::Stats ProgramCache::stats() const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return St;
-}
-
-void ProgramCache::clear() {
-  std::lock_guard<std::mutex> Lock(Mu);
-  Cache.clear();
-  St = {};
-}
-
-// --- Server ----------------------------------------------------------------
 
 Server::Server(const models::ModelSpec &Spec,
                const compiler::CompileOptions &CO, const ServeOptions &SO)
@@ -134,36 +26,128 @@ Server::Server(const models::ModelSpec &Spec,
 
   ItemElems = Spec.InputDims.numElements();
   ClassElems = Spec.NumClasses;
+  Constructed = std::chrono::steady_clock::now();
 
-  for (int64_t BS : BatchSizes)
-    Programs.push_back(
-        ProgramCache::instance().getOrCompile(Spec, CompileOpts, BS));
+  const size_t N = BatchSizes.size();
+  Programs.resize(N);
+  InterpPrograms.resize(N);
+  PrimaryReady = std::make_unique<std::atomic<bool>[]>(N);
+  InterpReady = std::make_unique<std::atomic<bool>[]>(N);
+  for (size_t I = 0; I < N; ++I) {
+    PrimaryReady[I].store(false, std::memory_order_relaxed);
+    InterpReady[I].store(false, std::memory_order_relaxed);
+  }
+
+  // The floor of the degradation ladder compiles inline: the smallest
+  // batch size, with interpreted dispatch when the requested class wants
+  // the JIT (a .so compile is exactly the latency we refuse to put on the
+  // request path). Everything else is background work.
+  compiler::ProgramCache &Cache = compiler::ProgramCache::instance();
+  const bool Async = Opts.AsyncCompile;
+  const bool Jit = CompileOpts.Jit;
+  compiler::CompileOptions InterpCO = CompileOpts;
+  InterpCO.Jit = false;
+
+  compiler::ProgramCache::ProgramPtr Floor;
+  if (!Async) {
+    for (size_t BI = 0; BI < N; ++BI)
+      Programs[BI] = Cache.getOrCompile(Spec, CompileOpts, BatchSizes[BI]);
+    Floor = Programs.front();
+  } else if (Jit) {
+    InterpPrograms[0] = Cache.getOrCompile(Spec, InterpCO, BatchSizes[0]);
+    Floor = InterpPrograms[0];
+  } else {
+    Programs[0] = Cache.getOrCompile(Spec, CompileOpts, BatchSizes[0]);
+    Floor = Programs[0];
+  }
 
   // The weight master: owns the parameter bytes every replica points at.
-  // It is a plain executor of the smallest batch size and never serves
-  // traffic itself.
+  // Any program of the family works (identical parameter declarations);
+  // it never serves traffic itself.
   engine::ExecOptions MasterEO = Opts.Exec;
   MasterEO.Seed = Opts.ParamSeed;
   MasterEO.Profile = false;
-  Master = std::make_unique<engine::Executor>(Programs.front()->clone(),
-                                              MasterEO);
+  Master = std::make_unique<engine::Executor>(Floor->clone(), MasterEO);
 
-  // Replicas keep the caller's Profile flag: the profiler keeps per-thread
-  // span buffers, so concurrent replica forwards record safely (the
-  // nightly bench ships the resulting Chrome trace).
-  engine::ExecOptions RepEO = Opts.Exec;
-  RepEO.Seed = Opts.ParamSeed;
+  // Replica slots. Cold classes stay null until installClass publishes
+  // them; the floor is wired immediately so traffic can flow from the
+  // first submit.
   Replicas.resize(static_cast<size_t>(Opts.Replicas));
-  for (Replica &Rep : Replicas)
-    for (size_t BI = 0; BI < BatchSizes.size(); ++BI) {
-      Rep.Execs.push_back(
-          std::make_unique<engine::Executor>(Programs[BI]->clone(), RepEO));
-      Rep.Execs.back()->shareParamsFrom(*Master);
-    }
+  for (Replica &Rep : Replicas) {
+    Rep.Execs.resize(N);
+    Rep.InterpExecs.resize(N);
+  }
+  if (!Async) {
+    for (size_t BI = 0; BI < N; ++BI)
+      installClass(BI, /*Interp=*/false, Programs[BI]);
+  } else if (Jit) {
+    installClass(0, /*Interp=*/true, InterpPrograms[0]);
+  } else {
+    installClass(0, /*Interp=*/false, Programs[0]);
+  }
 
   Batcher = std::make_unique<MicroBatcher>(
       BatchSizes.back(), std::chrono::microseconds(Opts.FlushDeadlineMicros),
       Opts.QueueCapacity);
+
+  if (Async) {
+    Compiles = std::make_unique<CompileService>(Opts.CompileThreads);
+    enqueueBackgroundCompiles();
+  }
+}
+
+void Server::enqueueBackgroundCompiles() {
+  const size_t N = BatchSizes.size();
+  const bool Jit = CompileOpts.Jit;
+  compiler::CompileOptions InterpCO = CompileOpts;
+  InterpCO.Jit = false;
+  auto Submit = [&](size_t BI, bool Interp) {
+    const compiler::CompileOptions &CO = Interp ? InterpCO : CompileOpts;
+    Compiles->enqueue(Spec, CO, BatchSizes[BI],
+                      [this, BI, Interp](compiler::ProgramCache::ProgramPtr P) {
+                        installClass(BI, Interp, std::move(P));
+                      });
+  };
+  // Queue order is the ladder's build-out order: the primary floor class
+  // first (when the JIT floor is still interpreted), then the cheap
+  // interpreted variants of the larger sizes (wider padding targets
+  // early), then the remaining primaries, ascending.
+  if (Jit)
+    Submit(0, /*Interp=*/false);
+  if (Jit)
+    for (size_t BI = 1; BI < N; ++BI)
+      Submit(BI, /*Interp=*/true);
+  for (size_t BI = 1; BI < N; ++BI)
+    Submit(BI, /*Interp=*/false);
+}
+
+void Server::installClass(size_t BI, bool Interp,
+                          compiler::ProgramCache::ProgramPtr Prog) {
+  if (Stopping.load(std::memory_order_acquire))
+    return;
+  engine::ExecOptions RepEO = Opts.Exec;
+  RepEO.Seed = Opts.ParamSeed;
+  (Interp ? InterpPrograms : Programs)[BI] = Prog;
+  for (Replica &Rep : Replicas) {
+    auto Ex = std::make_unique<engine::Executor>(Prog->clone(), RepEO);
+    Ex->shareParamsFrom(*Master);
+    (Interp ? Rep.InterpExecs : Rep.Execs)[BI] = std::move(Ex);
+  }
+  // Publish: the release store pairs with the workers' acquire loads, so
+  // a worker that observes the flag sees fully constructed executors.
+  (Interp ? InterpReady : PrimaryReady)[BI].store(true,
+                                                  std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Stats.ClassesInstalled;
+  }
+  if (!Interp &&
+      ReadyPrimaries.fetch_add(1) + 1 == static_cast<int>(BatchSizes.size()))
+    AllReadyNanos.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Constructed)
+            .count(),
+        std::memory_order_release);
 }
 
 Server::~Server() { stop(); }
@@ -185,22 +169,34 @@ void Server::start() {
 }
 
 void Server::stop() {
+  Stopping.store(true, std::memory_order_release);
+  // Compile workers first: after this join no install callback can run,
+  // so the executor slots are quiescent while the serve workers drain.
+  if (Compiles)
+    Compiles->stop();
   if (Batcher)
-    Batcher->stop();
+    Batcher->stop(); // fails queued requests with Status::Shutdown
   for (Replica &Rep : Replicas)
     if (Rep.Worker.joinable())
       Rep.Worker.join();
   Running = false;
 }
 
-bool Server::submit(Tensor Item, std::future<Tensor> *Out) {
+bool Server::submit(Tensor Item, std::future<Response> *Out,
+                    SubmitOptions SO) {
   if (Item.numElements() != ItemElems)
     reportFatalError("Server::submit: item has " +
                      std::to_string(Item.numElements()) + " elements, spec '" +
                      Spec.Name + "' expects " + std::to_string(ItemElems));
+  int64_t BudgetUs = SO.DeadlineMicros > 0
+                         ? SO.DeadlineMicros
+                         : Opts.ClassDeadlineMicros[static_cast<int>(SO.Pri)];
   Request R;
   R.Input = std::move(Item);
-  std::future<Tensor> Fut = R.Result.get_future();
+  R.Pri = SO.Pri;
+  R.Deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(BudgetUs);
+  std::future<Response> Fut = R.Result.get_future();
   if (!Batcher->enqueue(std::move(R))) {
     std::lock_guard<std::mutex> Lock(StatsMu);
     ++Stats.Shed;
@@ -215,16 +211,105 @@ bool Server::submit(Tensor Item, std::future<Tensor> *Out) {
   return true;
 }
 
-engine::Executor &Server::pickExecutor(Replica &Rep, int64_t Fill,
-                                       int64_t *BatchSize) {
-  for (size_t BI = 0; BI < BatchSizes.size(); ++BI)
-    if (BatchSizes[BI] >= Fill) {
-      *BatchSize = BatchSizes[BI];
-      return *Rep.Execs[BI];
+Server::Pick Server::pickExecutor(Replica &Rep, int64_t Fill) {
+  const size_t N = BatchSizes.size();
+  Pick P;
+  // Rung 1: smallest warm primary class that fits (pad the tail).
+  for (size_t BI = 0; BI < N; ++BI)
+    if (BatchSizes[BI] >= Fill &&
+        PrimaryReady[BI].load(std::memory_order_acquire)) {
+      P.Ex = Rep.Execs[BI].get();
+      P.BatchSize = BatchSizes[BI];
+      return P;
     }
-  // popBatch never returns more than maxBatch() requests.
-  reportFatalError("Server: batch of " + std::to_string(Fill) +
-                   " exceeds the largest precompiled batch size");
+  // Rung 2: interpreted-dispatch fallback of a fitting size — the JIT'd
+  // variant is still cold, serve through the interpreter instead of
+  // blocking on the .so compile.
+  for (size_t BI = 0; BI < N; ++BI)
+    if (BatchSizes[BI] >= Fill &&
+        InterpReady[BI].load(std::memory_order_acquire)) {
+      P.Ex = Rep.InterpExecs[BI].get();
+      P.BatchSize = BatchSizes[BI];
+      P.Interp = true;
+      return P;
+    }
+  // Rung 3: nothing fitting is warm — chunk the batch through the largest
+  // warm executor (primary preferred). The floor class compiled at
+  // construction, so a warm rung always exists.
+  for (size_t BI = N; BI-- > 0;)
+    if (PrimaryReady[BI].load(std::memory_order_acquire)) {
+      P.Ex = Rep.Execs[BI].get();
+      P.BatchSize = BatchSizes[BI];
+      P.Chunked = true;
+      return P;
+    }
+  for (size_t BI = N; BI-- > 0;)
+    if (InterpReady[BI].load(std::memory_order_acquire)) {
+      P.Ex = Rep.InterpExecs[BI].get();
+      P.BatchSize = BatchSizes[BI];
+      P.Interp = true;
+      P.Chunked = true;
+      return P;
+    }
+  reportFatalError("Server: no warm executor — the floor class is missing");
+}
+
+void Server::runBatch(Replica &Rep, std::vector<Request> Batch) {
+  const int64_t Fill = static_cast<int64_t>(Batch.size());
+  Pick P = pickExecutor(Rep, Fill);
+  const compiler::Program &Prog = P.Ex->program();
+
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    if (P.Interp)
+      ++Stats.InterpFallbacks;
+    if (P.Chunked)
+      ++Stats.ChunkedBatches;
+  }
+
+  for (int64_t Base = 0; Base < Fill; Base += P.BatchSize) {
+    int64_t Count = std::min(P.BatchSize, Fill - Base);
+    float *In = P.Ex->data(Prog.DataBuffer);
+    for (int64_t I = 0; I < Count; ++I)
+      std::memcpy(In + I * ItemElems, Batch[Base + I].Input.data(),
+                  sizeof(float) * static_cast<size_t>(ItemElems));
+    // Zero-pad the tail: padded rows compute garbage confined to their own
+    // output rows (per-item forward independence), which are never read.
+    if (Count < P.BatchSize)
+      std::memset(In + Count * ItemElems, 0,
+                  sizeof(float) *
+                      static_cast<size_t>((P.BatchSize - Count) * ItemElems));
+
+    Timer Wall;
+    P.Ex->forward();
+    double RunSec = Wall.seconds();
+    Batcher->noteServiceTime(RunSec);
+
+    auto Done = std::chrono::steady_clock::now();
+    int64_t Missed = 0;
+    for (int64_t I = 0; I < Count; ++I)
+      if (Done > Batch[Base + I].Deadline)
+        ++Missed;
+    // Stats before fulfillment: a caller that wakes from future.get() and
+    // immediately reads stats() must see this chunk accounted for.
+    {
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Stats.Batches;
+      Stats.Completed += Count;
+      Stats.PaddedSlots += P.BatchSize - Count;
+      Stats.DeadlineMissed += Missed;
+      Stats.BusySec += RunSec;
+      ++Stats.Fill[P.BatchSize][Count];
+    }
+
+    const float *Prob = P.Ex->data(Prog.ProbBuffer);
+    for (int64_t I = 0; I < Count; ++I) {
+      Tensor Row(Shape({ClassElems}));
+      std::memcpy(Row.data(), Prob + I * ClassElems,
+                  sizeof(float) * static_cast<size_t>(ClassElems));
+      Batch[Base + I].fulfill(std::move(Row));
+    }
+  }
 }
 
 void Server::workerLoop(Replica &Rep) {
@@ -232,39 +317,7 @@ void Server::workerLoop(Replica &Rep) {
     std::vector<Request> Batch = Batcher->popBatch();
     if (Batch.empty())
       return;
-    int64_t Fill = static_cast<int64_t>(Batch.size());
-    int64_t BS = 0;
-    engine::Executor &Ex = pickExecutor(Rep, Fill, &BS);
-    const compiler::Program &Prog = Ex.program();
-
-    float *In = Ex.data(Prog.DataBuffer);
-    for (int64_t I = 0; I < Fill; ++I)
-      std::memcpy(In + I * ItemElems, Batch[I].Input.data(),
-                  sizeof(float) * static_cast<size_t>(ItemElems));
-    // Zero-pad the tail: padded rows compute garbage confined to their own
-    // output rows (per-item forward independence), which are never read.
-    if (Fill < BS)
-      std::memset(In + Fill * ItemElems, 0,
-                  sizeof(float) * static_cast<size_t>((BS - Fill) * ItemElems));
-
-    Timer Wall;
-    Ex.forward();
-    double Sec = Wall.seconds();
-
-    const float *Prob = Ex.data(Prog.ProbBuffer);
-    for (int64_t I = 0; I < Fill; ++I) {
-      Tensor Row(Shape({ClassElems}));
-      std::memcpy(Row.data(), Prob + I * ClassElems,
-                  sizeof(float) * static_cast<size_t>(ClassElems));
-      Batch[I].Result.set_value(std::move(Row));
-    }
-
-    std::lock_guard<std::mutex> Lock(StatsMu);
-    ++Stats.Batches;
-    Stats.Completed += Fill;
-    Stats.PaddedSlots += BS - Fill;
-    Stats.BusySec += Sec;
-    ++Stats.Fill[BS][Fill];
+    runBatch(Rep, std::move(Batch));
   }
 }
 
@@ -277,14 +330,40 @@ ServeStats Server::stats() const {
   BatcherStats B = Batcher->stats();
   S.FullFlushes = B.FullFlushes;
   S.DeadlineFlushes = B.DeadlineFlushes;
-  S.DrainFlushes = B.DrainFlushes;
+  S.DeadlineShed = B.DeadlineShed;
+  S.ShutdownFailed = B.ShutdownFailed;
   return S;
+}
+
+bool Server::allClassesReady() const {
+  return ReadyPrimaries.load(std::memory_order_acquire) ==
+         static_cast<int>(BatchSizes.size());
+}
+
+double Server::allReadySec() const {
+  return static_cast<double>(AllReadyNanos.load(std::memory_order_acquire)) *
+         1e-9;
+}
+
+bool Server::waitAllClassesReady(std::chrono::milliseconds Timeout) const {
+  auto Until = std::chrono::steady_clock::now() + Timeout;
+  while (!allClassesReady()) {
+    if (std::chrono::steady_clock::now() >= Until)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
 }
 
 const compiler::Program &Server::program(int64_t BatchSize) const {
   for (size_t BI = 0; BI < BatchSizes.size(); ++BI)
-    if (BatchSizes[BI] == BatchSize)
+    if (BatchSizes[BI] == BatchSize) {
+      if (!PrimaryReady[BI].load(std::memory_order_acquire))
+        reportFatalError("Server::program: batch size " +
+                         std::to_string(BatchSize) +
+                         " is still cold (background compile pending)");
       return *Programs[BI];
+    }
   reportFatalError("Server::program: batch size " + std::to_string(BatchSize) +
                    " is not precompiled");
 }
@@ -294,17 +373,28 @@ const engine::Executor &Server::replicaExecutor(int R,
   if (R < 0 || static_cast<size_t>(R) >= Replicas.size())
     reportFatalError("Server::replicaExecutor: bad replica index");
   for (size_t BI = 0; BI < BatchSizes.size(); ++BI)
-    if (BatchSizes[BI] == BatchSize)
+    if (BatchSizes[BI] == BatchSize) {
+      if (!PrimaryReady[BI].load(std::memory_order_acquire))
+        reportFatalError("Server::replicaExecutor: batch size " +
+                         std::to_string(BatchSize) +
+                         " is still cold (background compile pending)");
       return *Replicas[static_cast<size_t>(R)].Execs[BI];
+    }
   reportFatalError("Server::replicaExecutor: batch size " +
                    std::to_string(BatchSize) + " is not precompiled");
 }
 
 int64_t Server::replicaArenaBytes() const {
   int64_t Total = 0;
-  for (const Replica &Rep : Replicas)
-    for (const auto &Ex : Rep.Execs)
-      if (Ex->program().Plan.Valid)
-        Total += Ex->program().Plan.ArenaBytes;
+  for (const Replica &Rep : Replicas) {
+    for (size_t BI = 0; BI < BatchSizes.size(); ++BI) {
+      if (PrimaryReady[BI].load(std::memory_order_acquire) &&
+          Rep.Execs[BI] && Rep.Execs[BI]->program().Plan.Valid)
+        Total += Rep.Execs[BI]->program().Plan.ArenaBytes;
+      if (InterpReady[BI].load(std::memory_order_acquire) &&
+          Rep.InterpExecs[BI] && Rep.InterpExecs[BI]->program().Plan.Valid)
+        Total += Rep.InterpExecs[BI]->program().Plan.ArenaBytes;
+    }
+  }
   return Total;
 }

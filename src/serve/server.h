@@ -2,23 +2,35 @@
 ///
 /// \file
 /// The inference serving runtime: single-item requests flow through a
-/// dynamic micro-batcher (serve/batcher.h) into N executor replicas. Each
-/// replica holds one inference-compiled executor per precompiled batch
-/// size (1/4/16 by default) and runs the smallest one that fits the popped
-/// batch, zero-padding the tail — sound because forward computation is
-/// independent per batch item (the compiler's batch loops never mix rows),
-/// so padded rows produce garbage in *their own* output rows only.
+/// deadline-aware micro-batcher (serve/batcher.h) into N executor
+/// replicas. Each replica holds one inference-compiled executor per
+/// precompiled batch size (1/4/16 by default) and runs the smallest one
+/// that fits the popped batch, zero-padding the tail — sound because
+/// forward computation is independent per batch item (the compiler's
+/// batch loops never mix rows), so padded rows produce garbage in *their
+/// own* output rows only.
+///
+/// Shape-class compilation is asynchronous (ServeOptions::AsyncCompile,
+/// on by default): only the *floor* program — the smallest batch size,
+/// interpreted dispatch when the requested option class includes the JIT
+/// — is compiled inline at construction; every other (options, batch
+/// size) class is enqueued on a background CompileService and installed
+/// atomically when ready. Until then, traffic degrades down an explicit
+/// ladder instead of blocking on a compile:
+///
+///   warm hit -> padded nearest warm batch size -> interpreted-dispatch
+///   program (JIT variant still cold) -> chunked runs through the floor
+///   -> shed
 ///
 /// All replicas share one set of weight bytes: a weight-master executor
 /// owns the parameters and every replica repoints its Param-role buffers
 /// at the master's storage (engine::Executor::shareParamsFrom), so memory
 /// scales as one weight set plus N small forward-only activation arenas.
 ///
-/// Compiled programs come from a process-global ProgramCache keyed by
-/// (graph fingerprint, compile-option class, batch size) — the first cut
-/// of the shape-polymorphic compile cache: starting a second server over
-/// the same model (or restarting one) reuses every compiled program and
-/// only pays Program::clone().
+/// Compiled programs come from the process-global
+/// compiler::ProgramCache keyed by (graph fingerprint, compile-option
+/// class, batch size); its per-key single-flight means N replicas — or N
+/// servers — missing one cold class trigger exactly one compile.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,10 +38,14 @@
 #define LATTE_SERVE_SERVER_H
 
 #include "compiler/compiler.h"
+#include "compiler/program_cache.h"
 #include "engine/executor.h"
 #include "models/models.h"
 #include "serve/batcher.h"
+#include "serve/compile_service.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -41,6 +57,11 @@
 
 namespace latte {
 namespace serve {
+
+/// The compile cache moved to the compiler layer (it memoizes compiles,
+/// not serving state); the alias keeps the historical serve:: spelling
+/// working.
+using ProgramCache = compiler::ProgramCache;
 
 struct ServeOptions {
   /// Executor replicas (worker threads). Each owns one arena per batch
@@ -54,6 +75,20 @@ struct ServeOptions {
   int64_t FlushDeadlineMicros = 2000;
   /// Pending-request shed threshold.
   size_t QueueCapacity = 4096;
+  /// Default service-deadline budget per priority class (micros), indexed
+  /// by serve::Priority. A request whose SubmitOptions does not pin an
+  /// explicit deadline gets `now + ClassDeadlineMicros[class]`. Generous
+  /// defaults: sanitizer CI runs the threading tests at a fraction of
+  /// release speed.
+  int64_t ClassDeadlineMicros[NumPriorities] = {100'000, 1'000'000,
+                                                10'000'000};
+  /// Background shape-class compilation (the cold-cache degradation
+  /// ladder). Off = every batch size compiles inline at construction,
+  /// the pre-async behavior the introspection-heavy tests rely on.
+  bool AsyncCompile = true;
+  /// Workers in the background compile pool (>= 1; only used when
+  /// AsyncCompile).
+  int CompileThreads = 2;
   /// Weight initialization seed (initParams on the weight master).
   uint64_t ParamSeed = 0x5eed;
   /// Engine options for every replica executor (Profile works — the
@@ -63,15 +98,30 @@ struct ServeOptions {
   engine::ExecOptions Exec;
 };
 
+/// Per-request scheduling knobs for Server::submit.
+struct SubmitOptions {
+  Priority Pri = Priority::Standard;
+  /// Explicit service-deadline budget (micros) from submission time;
+  /// 0 = the class default from ServeOptions::ClassDeadlineMicros.
+  int64_t DeadlineMicros = 0;
+};
+
 struct ServeStats {
   int64_t Submitted = 0; ///< admitted requests
   int64_t Shed = 0;      ///< rejected at capacity
-  int64_t Completed = 0; ///< fulfilled promises
+  int64_t Completed = 0; ///< fulfilled promises (Status::Ok)
   int64_t Batches = 0;
   int64_t PaddedSlots = 0; ///< zero rows run for tail batches
   int64_t FullFlushes = 0;
   int64_t DeadlineFlushes = 0;
-  int64_t DrainFlushes = 0;
+  int64_t DeadlineShed = 0;    ///< failed early with Status::DeadlineShed
+  int64_t ShutdownFailed = 0;  ///< failed with Status::Shutdown at stop()
+  int64_t DeadlineMissed = 0;  ///< served, but completed past the deadline
+  int64_t InterpFallbacks = 0; ///< batches served by the interpreted
+                               ///< fallback while the JIT class was cold
+  int64_t ChunkedBatches = 0;  ///< batches split into multiple runs of a
+                               ///< smaller warm executor (cold class)
+  int64_t ClassesInstalled = 0; ///< shape classes installed asynchronously
   /// batch size ran -> (items carried -> count). The batch-fill histogram
   /// of the bench report: Fill[16][16] counts full batches, Fill[16][9] a
   /// 9-item tail run at size 16.
@@ -80,42 +130,12 @@ struct ServeStats {
   double BusySec = 0.0;
 };
 
-/// Process-global cache of inference-compiled programs keyed by
-/// (model fingerprint, compile-option class, batch size). getOrCompile
-/// returns a shared immutable program; callers clone what they execute.
-class ProgramCache {
-public:
-  static ProgramCache &instance();
-
-  /// The cache key: an FNV-1a fingerprint of the spec's full topology plus
-  /// every compile switch that changes the assembled program, then the
-  /// batch size (the shape class). Exposed for tests.
-  static std::string key(const models::ModelSpec &Spec,
-                         const compiler::CompileOptions &Opts,
-                         int64_t BatchSize);
-
-  std::shared_ptr<const compiler::Program>
-  getOrCompile(const models::ModelSpec &Spec,
-               const compiler::CompileOptions &Opts, int64_t BatchSize);
-
-  struct Stats {
-    int64_t Hits = 0;
-    int64_t Misses = 0;
-  };
-  Stats stats() const;
-  void clear(); ///< tests only
-
-private:
-  ProgramCache() = default;
-  mutable std::mutex Mu;
-  std::map<std::string, std::shared_ptr<const compiler::Program>> Cache;
-  Stats St;
-};
-
 class Server {
 public:
-  /// Compiles (or cache-hits) one inference program per batch size and
-  /// builds Replicas x BatchSizes executors wired for weight sharing.
+  /// Compiles (or cache-hits) the floor program inline, enqueues every
+  /// other shape class on the background compile service (AsyncCompile)
+  /// or compiles them inline too (!AsyncCompile), and builds
+  /// Replicas x BatchSizes executor slots wired for weight sharing.
   /// Does not start worker threads — call start().
   Server(const models::ModelSpec &Spec, const compiler::CompileOptions &CO,
          const ServeOptions &SO);
@@ -125,16 +145,20 @@ public:
   Server &operator=(const Server &) = delete;
 
   void start();
-  /// Stops admission, drains the queue, joins workers. Idempotent.
+  /// Stops the compile service, fails queued requests with
+  /// Status::Shutdown, joins workers. Idempotent.
   void stop();
 
   /// Submits one item (shape must match the spec's InputDims element
-  /// count). Returns whether it was admitted; on admission *Out receives
-  /// the future for the output row ({NumClasses} probabilities).
-  bool submit(Tensor Item, std::future<Tensor> *Out);
+  /// count). Returns whether it was admitted (false = shed at capacity;
+  /// the future is untouched); on admission *Out receives the future for
+  /// the Response (Status + {NumClasses} probability row).
+  bool submit(Tensor Item, std::future<Response> *Out,
+              SubmitOptions SO = {});
 
   /// Copies trained weights (by Param buffer name) into the weight master;
-  /// visible to all replicas immediately through pointer sharing. Call
+  /// visible to all replicas immediately through pointer sharing — and to
+  /// replicas installed later, which point at the same master bytes. Call
   /// before start().
   void loadParamsFrom(const engine::Executor &Trained);
 
@@ -143,27 +167,57 @@ public:
   int64_t maxBatch() const { return BatchSizes.back(); }
   const std::vector<int64_t> &batchSizes() const { return BatchSizes; }
 
+  /// True once every primary shape class (one per batch size) has been
+  /// compiled and its replica executors installed.
+  bool allClassesReady() const;
+  /// Seconds from construction until the last primary class installed
+  /// (0 until allClassesReady()).
+  double allReadySec() const;
+  /// Blocks until allClassesReady() or \p Timeout elapses; returns
+  /// whether everything installed.
+  bool waitAllClassesReady(std::chrono::milliseconds Timeout) const;
+
   // --- introspection (tests / bench) --------------------------------------
 
+  /// The primary program of \p BatchSize. Fatal if that class has not
+  /// been installed yet (see allClassesReady()).
   const compiler::Program &program(int64_t BatchSize) const;
   const engine::Executor &weightMaster() const { return *Master; }
   engine::Executor &weightMaster() { return *Master; }
   const engine::Executor &replicaExecutor(int Replica,
                                           int64_t BatchSize) const;
-  /// Sum of per-replica forward-only arena bytes (the serving activation
-  /// footprint, excluding the shared weights).
+  /// Sum of per-replica forward-only arena bytes across installed
+  /// executors (the serving activation footprint, excluding the shared
+  /// weights).
   int64_t replicaArenaBytes() const;
 
 private:
   struct Replica {
-    /// One executor per batch size, BatchSizes order.
+    /// Primary executors (requested option class), BatchSizes order;
+    /// slots are null until their shape class installs.
     std::vector<std::unique_ptr<engine::Executor>> Execs;
+    /// Interpreted-dispatch fallbacks (only when the requested class has
+    /// Jit): same batch sizes, JIT stripped.
+    std::vector<std::unique_ptr<engine::Executor>> InterpExecs;
     std::thread Worker;
   };
 
+  /// Which executor a popped batch runs on, per the degradation ladder.
+  struct Pick {
+    engine::Executor *Ex = nullptr;
+    int64_t BatchSize = 0;
+    bool Interp = false;  ///< served by the interpreted fallback
+    bool Chunked = false; ///< batch must be split into BatchSize chunks
+  };
+
   void workerLoop(Replica &Rep);
-  engine::Executor &pickExecutor(Replica &Rep, int64_t Fill,
-                                 int64_t *BatchSize);
+  Pick pickExecutor(Replica &Rep, int64_t Fill);
+  void runBatch(Replica &Rep, std::vector<Request> Batch);
+  /// Creates and publishes the per-replica executors of one shape class
+  /// (called on the compile thread; atomic via release flags).
+  void installClass(size_t BI, bool Interp,
+                    compiler::ProgramCache::ProgramPtr Prog);
+  void enqueueBackgroundCompiles();
 
   models::ModelSpec Spec;
   compiler::CompileOptions CompileOpts;
@@ -172,9 +226,21 @@ private:
   int64_t ItemElems = 0;           ///< input elements per item
   int64_t ClassElems = 0;          ///< output elements per item
 
-  std::vector<std::shared_ptr<const compiler::Program>> Programs;
+  /// Primary programs per batch size (null until installed).
+  std::vector<compiler::ProgramCache::ProgramPtr> Programs;
+  std::vector<compiler::ProgramCache::ProgramPtr> InterpPrograms;
+  /// Publication flags: set with release order after the slot's
+  /// executors exist in every replica; workers read with acquire.
+  std::unique_ptr<std::atomic<bool>[]> PrimaryReady;
+  std::unique_ptr<std::atomic<bool>[]> InterpReady;
+  std::atomic<int> ReadyPrimaries{0};
+  std::chrono::steady_clock::time_point Constructed;
+  std::atomic<int64_t> AllReadyNanos{0}; ///< 0 = not all ready yet
+
   std::unique_ptr<engine::Executor> Master; ///< owns the weights
   std::vector<Replica> Replicas;
+  std::unique_ptr<CompileService> Compiles; ///< null when !AsyncCompile
+  std::atomic<bool> Stopping{false};
 
   std::unique_ptr<MicroBatcher> Batcher;
   bool Running = false;

@@ -9,6 +9,13 @@ using namespace latte::bench;
 
 namespace {
 
+/// Dimensionless count metrics (the serve pseudo-row).
+bool isCountMetric(const std::string &Metric) {
+  return Metric == "shed" || Metric == "deadline_shed" ||
+         Metric == "deadline_missed" || Metric == "interp_fallbacks" ||
+         Metric == "chunked_batches" || Metric == "classes_installed";
+}
+
 const json::Value *findRow(const json::Value &Doc,
                            const std::string &Label) {
   const json::Value *Rows = Doc.find("rows");
@@ -25,13 +32,22 @@ const json::Value *findRow(const json::Value &Doc,
 CompareResult bench::compareBenchJson(const json::Value &Old,
                                       const json::Value &New,
                                       double Threshold, double MinDeltaSec,
-                                      const std::vector<std::string> *OnlyRows) {
+                                      const std::vector<std::string> *OnlyRows,
+                                      const std::vector<std::string> *OnlyMetrics) {
   CompareResult R;
   auto RowSelected = [&](const std::string &Label) {
     if (!OnlyRows)
       return true;
     for (const std::string &L : *OnlyRows)
       if (L == Label)
+        return true;
+    return false;
+  };
+  auto MetricSelected = [&](const std::string &Metric) {
+    if (!OnlyMetrics)
+      return true;
+    for (const std::string &M : *OnlyMetrics)
+      if (M == Metric)
         return true;
     return false;
   };
@@ -58,6 +74,8 @@ CompareResult bench::compareBenchJson(const json::Value &Old,
       continue;
     }
     for (const char *Metric : Metrics) {
+      if (!MetricSelected(Metric))
+        continue;
       const json::Value *OldV = OldRow.find(Metric);
       const json::Value *NewV = NewRow->find(Metric);
       if (!OldV || !NewV || !OldV->isNumber() || !NewV->isNumber())
@@ -83,7 +101,8 @@ CompareResult bench::compareBenchJson(const json::Value &Old,
     static const double MemThreshold = 1.05;
     const json::Value *OldMem = OldRow.find("arena_bytes");
     const json::Value *NewMem = NewRow->find("arena_bytes");
-    if (OldMem && NewMem && OldMem->isNumber() && NewMem->isNumber()) {
+    if (MetricSelected("arena_bytes") && OldMem && NewMem &&
+        OldMem->isNumber() && NewMem->isNumber()) {
       MetricDelta D;
       D.Label = Label;
       D.Metric = "arena_bytes";
@@ -100,7 +119,8 @@ CompareResult bench::compareBenchJson(const json::Value &Old,
     // dimensionless ratio of two measurements from the same run.
     const json::Value *OldSp = OldRow.find("speedup");
     const json::Value *NewSp = NewRow->find("speedup");
-    if (OldSp && NewSp && OldSp->isNumber() && NewSp->isNumber()) {
+    if (MetricSelected("speedup") && OldSp && NewSp && OldSp->isNumber() &&
+        NewSp->isNumber()) {
       MetricDelta D;
       D.Label = Label;
       D.Metric = "speedup";
@@ -112,6 +132,26 @@ CompareResult bench::compareBenchJson(const json::Value &Old,
       else if (D.OldSec > 0 && D.NewSec > D.OldSec * Threshold)
         R.Improvements.push_back(D);
     }
+    // Normalized latency: p50 x the host's own sequential rps — a
+    // dimensionless multiple of the single-request service time, so the
+    // gate compares scheduling quality across machines. Lower is better;
+    // like speedup it is a same-run ratio and needs no absolute noise
+    // floor.
+    const json::Value *OldLn = OldRow.find("latency_norm");
+    const json::Value *NewLn = NewRow->find("latency_norm");
+    if (MetricSelected("latency_norm") && OldLn && NewLn &&
+        OldLn->isNumber() && NewLn->isNumber()) {
+      MetricDelta D;
+      D.Label = Label;
+      D.Metric = "latency_norm";
+      D.OldSec = OldLn->asNumber();
+      D.NewSec = NewLn->asNumber();
+      R.Compared.push_back(D);
+      if (D.OldSec > 0 && D.NewSec > D.OldSec * Threshold)
+        R.Regressions.push_back(D);
+      else if (D.OldSec > 0 && D.NewSec < D.OldSec / Threshold)
+        R.Improvements.push_back(D);
+    }
     // Recompute counters are informational (the flops/bytes trade is a
     // deliberate compiler policy, not a perf signal): compared so the
     // report shows drift, never gated. Request rates ride along the
@@ -119,6 +159,8 @@ CompareResult bench::compareBenchJson(const json::Value &Old,
     static const char *InfoMetrics[] = {"recompute_flops",
                                         "retained_bytes_saved", "rps"};
     for (const char *Metric : InfoMetrics) {
+      if (!MetricSelected(Metric))
+        continue;
       const json::Value *OldV = OldRow.find(Metric);
       const json::Value *NewV = NewRow->find(Metric);
       if (!OldV || !NewV || !OldV->isNumber() || !NewV->isNumber())
@@ -131,6 +173,37 @@ CompareResult bench::compareBenchJson(const json::Value &Old,
       R.Compared.push_back(D);
     }
   }
+
+  // Serving degradation counters ride along informationally whenever both
+  // documents carry a "serve" object: shed/fallback drift belongs in the
+  // report (and the CI step summary), but the counts are load-dependent
+  // and never gate. They answer to the row filter under the pseudo-label
+  // "serve", so a hard-gate invocation like `--rows serve_throughput`
+  // compares exactly what it names.
+  static const char *ServeCounters[] = {"shed",
+                                        "deadline_shed",
+                                        "deadline_missed",
+                                        "interp_fallbacks",
+                                        "chunked_batches",
+                                        "classes_installed"};
+  const json::Value *OldSrv = Old.find("serve");
+  const json::Value *NewSrv = New.find("serve");
+  if (OldSrv && NewSrv && OldSrv->isObject() && NewSrv->isObject() &&
+      RowSelected("serve"))
+    for (const char *Metric : ServeCounters) {
+      if (!MetricSelected(Metric))
+        continue;
+      const json::Value *OldV = OldSrv->find(Metric);
+      const json::Value *NewV = NewSrv->find(Metric);
+      if (!OldV || !NewV || !OldV->isNumber() || !NewV->isNumber())
+        continue;
+      MetricDelta D;
+      D.Label = "serve";
+      D.Metric = Metric;
+      D.OldSec = OldV->asNumber();
+      D.NewSec = NewV->asNumber();
+      R.Compared.push_back(D);
+    }
 
   // Rows only in the new file are informational too.
   const json::Value *NewRows = New.find("rows");
@@ -148,7 +221,8 @@ std::string bench::formatCompareReport(const CompareResult &R,
   std::string Out;
   char Buf[256];
   auto Line = [&](const MetricDelta &D, const char *Tag) {
-    if (D.Metric == "speedup" || D.Metric == "rps")
+    if (D.Metric == "speedup" || D.Metric == "rps" ||
+        D.Metric == "latency_norm" || isCountMetric(D.Metric))
       std::snprintf(Buf, sizeof(Buf),
                     "  %-10s %-28s %-11s %12.2f -> %12.2f  (%.2fx)\n",
                     Tag, D.Label.c_str(), D.Metric.c_str(), D.OldSec,
@@ -199,8 +273,12 @@ std::string bench::formatCompareMarkdown(const CompareResult &R,
       std::snprintf(Buf, sizeof(Buf), "%.2f Mflop", V / 1e6);
     else if (D.Metric == "speedup")
       std::snprintf(Buf, sizeof(Buf), "%.2fx", V);
+    else if (D.Metric == "latency_norm")
+      std::snprintf(Buf, sizeof(Buf), "%.2f", V);
     else if (D.Metric == "rps")
       std::snprintf(Buf, sizeof(Buf), "%.1f req/s", V);
+    else if (isCountMetric(D.Metric))
+      std::snprintf(Buf, sizeof(Buf), "%.0f", V);
     else
       std::snprintf(Buf, sizeof(Buf), "%.3f ms", V * 1e3);
     return std::string(Buf);

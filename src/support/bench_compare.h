@@ -52,14 +52,26 @@ struct CompareResult {
 /// when `new < old / Threshold`) — the serving bench reports its
 /// micro-batching throughput gain this way so the gate is
 /// machine-normalized (both sides of the ratio come from the same run on
-/// the same host). When \p OnlyRows is non-null, only rows whose label it
-/// contains are compared — CI uses this to hard-gate one row (the serving
-/// throughput floor) at a tight threshold while a second, informational
-/// invocation reports everything loosely.
+/// the same host). A "latency_norm" column (p50 seconds x the host's own
+/// sequential rps — a dimensionless multiple of the single-request
+/// service time) is gated lower-is-better like a timing but, being a
+/// same-run ratio, needs no absolute noise floor. When \p OnlyRows is
+/// non-null, only rows whose label it contains are compared — CI uses
+/// this to hard-gate one row (the serving throughput floor) at a tight
+/// threshold while a second, informational invocation reports everything
+/// loosely. \p OnlyMetrics restricts the compared metric names the same
+/// way (e.g. gate exactly `latency_norm` on the serve_p50 row while its
+/// absolute `total_sec` stays informational elsewhere). When both
+/// documents carry a top-level "serve" object, its shed/fallback counters
+/// are compared informationally under the pseudo-row label "serve" —
+/// drift shows in the report and the CI step summary, but load-dependent
+/// counts never gate.
 CompareResult compareBenchJson(const json::Value &Old,
                                const json::Value &New, double Threshold,
                                double MinDeltaSec = 1e-4,
                                const std::vector<std::string> *OnlyRows =
+                                   nullptr,
+                               const std::vector<std::string> *OnlyMetrics =
                                    nullptr);
 
 /// Renders \p R as the human-readable report the CLI prints.

@@ -120,4 +120,90 @@ TEST(BenchCompare, ReportMentionsRegressedRows) {
   EXPECT_NE(Report.find("REGRESSED"), std::string::npos);
 }
 
+/// Builds a doc with one serve_p50 row carrying latency_norm.
+json::Value p50Doc(double Norm, double Total = 0.010) {
+  json::Value Doc = json::Value::object();
+  Doc.set("schema", "latte-bench-v1");
+  Doc.set("figure", "serve");
+  json::Value Row = json::Value::object();
+  Row.set("label", "serve_p50");
+  Row.set("total_sec", Total);
+  Row.set("latency_norm", Norm);
+  json::Value Arr = json::Value::array();
+  Arr.push(std::move(Row));
+  Doc.set("rows", std::move(Arr));
+  return Doc;
+}
+
+TEST(BenchCompare, LatencyNormGatesLowerIsBetter) {
+  // 2x growth in the normalized p50 multiple regresses past a 1.3x gate
+  // even though it needs no absolute-seconds noise floor.
+  bench::CompareResult R =
+      bench::compareBenchJson(p50Doc(20.0), p50Doc(40.0), 1.3);
+  EXPECT_FALSE(R.ok());
+  bool Found = false;
+  for (const auto &D : R.Regressions)
+    if (D.Metric == "latency_norm") {
+      Found = true;
+      EXPECT_NEAR(D.ratio(), 2.0, 1e-9);
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(BenchCompare, LatencyNormShrinkIsImprovement) {
+  bench::CompareResult R =
+      bench::compareBenchJson(p50Doc(40.0), p50Doc(20.0), 1.3);
+  EXPECT_TRUE(R.ok());
+  bool Found = false;
+  for (const auto &D : R.Improvements)
+    if (D.Metric == "latency_norm")
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(BenchCompare, OnlyMetricsFiltersColumns) {
+  // Gate exactly latency_norm: the row's total_sec regression (3x, well
+  // past threshold and the noise floor) must be invisible to this
+  // invocation, while the latency_norm regression still fails it.
+  json::Value Old = p50Doc(20.0);
+  json::Value New = p50Doc(40.0, /*Total=*/0.030);
+  std::vector<std::string> Metrics = {"latency_norm"};
+  bench::CompareResult R =
+      bench::compareBenchJson(Old, New, 1.3, 1e-4, nullptr, &Metrics);
+  ASSERT_EQ(R.Compared.size(), 1u);
+  EXPECT_EQ(R.Compared[0].Metric, "latency_norm");
+  EXPECT_FALSE(R.ok());
+  // The same filter with a healthy latency_norm passes despite the
+  // total_sec regression still present in the document.
+  bench::CompareResult R2 = bench::compareBenchJson(
+      Old, Old, 1.3, 1e-4, nullptr, &Metrics);
+  EXPECT_TRUE(R2.ok());
+}
+
+TEST(BenchCompare, ServeCountersCompareInformationally) {
+  json::Value Old = benchDoc({{"serve_p50", 0.010}});
+  json::Value New = benchDoc({{"serve_p50", 0.010}});
+  json::Value SOld = json::Value::object();
+  SOld.set("deadline_shed", 0.0);
+  SOld.set("interp_fallbacks", 2.0);
+  Old.set("serve", std::move(SOld));
+  json::Value SNew = json::Value::object();
+  SNew.set("deadline_shed", 50.0); // huge drift — still never gates
+  SNew.set("interp_fallbacks", 2.0);
+  New.set("serve", std::move(SNew));
+  bench::CompareResult R = bench::compareBenchJson(Old, New, 1.5);
+  EXPECT_TRUE(R.ok());
+  bool Found = false;
+  for (const auto &D : R.Compared)
+    if (D.Label == "serve" && D.Metric == "deadline_shed") {
+      Found = true;
+      EXPECT_EQ(D.NewSec, 50.0);
+    }
+  EXPECT_TRUE(Found);
+  // Counters render as integers in the markdown table.
+  std::string Md = bench::formatCompareMarkdown(R, 1.5);
+  EXPECT_NE(Md.find("deadline_shed"), std::string::npos);
+  EXPECT_NE(Md.find("| 50 |"), std::string::npos);
+}
+
 } // namespace

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# House policy lint for .github/workflows/*.yml, run by the CI
+# static-analysis job after actionlint (which checks schema/expressions
+# but not local conventions).
+#
+# Rule: every job must set timeout-minutes. A job without one inherits
+# GitHub's 6-hour default, so a wedged soak or loadgen holds a runner
+# hostage for the rest of the day instead of failing in minutes.
+#
+# The parser is deliberately dumb (grep-level, no yq dependency): a job
+# is a 2-space-indented `name:` key under the top-level `jobs:` block,
+# and its body is everything until the next such key. That matches how
+# this repo formats workflows; actionlint already guarantees the files
+# are well-formed YAML.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+Fail=0
+for Wf in .github/workflows/*.yml; do
+  # Everything after the top-level `jobs:` line.
+  Jobs=$(awk '/^jobs:/{Found=1; next} Found' "$Wf")
+  # Job names: exactly two spaces of indent, an identifier, a colon.
+  while IFS= read -r Job; do
+    [ -z "$Job" ] && continue
+    # The job body: from its header to the next 2-space-indented key.
+    Body=$(printf '%s\n' "$Jobs" |
+      awk -v J="  ${Job}:" '$0 == J {In=1; next}
+                            In && /^  [A-Za-z0-9_-]+:/ {exit}
+                            In')
+    if ! printf '%s\n' "$Body" | grep -q '^    timeout-minutes:'; then
+      echo "$Wf: job '$Job' does not set timeout-minutes" >&2
+      Fail=1
+    fi
+  done < <(printf '%s\n' "$Jobs" |
+    sed -n 's/^  \([A-Za-z0-9_-]*\):[[:space:]]*$/\1/p')
+done
+
+if [ "$Fail" -ne 0 ]; then
+  echo "workflow policy lint failed (see above)" >&2
+  exit 1
+fi
+echo "workflow policy lint: all jobs set timeout-minutes"
